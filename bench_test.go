@@ -1,0 +1,58 @@
+// Benchmarks: one testing.B benchmark per paper table/figure, wrapping the
+// experiment harness in internal/exp. Each benchmark runs the experiment's
+// workload once per b.N iteration at Quick scale and reports the headline
+// simulated metric via b.ReportMetric, so `go test -bench=. -benchmem`
+// regenerates every evaluation artifact.
+package dpc_test
+
+import (
+	"testing"
+
+	"dpc/internal/exp"
+)
+
+// runExperiment executes an experiment b.N times (the work is virtual-time
+// simulation; one iteration is a full sweep).
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e := exp.ByID(id)
+	if e == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(exp.Quick)
+		if len(tables) == 0 {
+			b.Fatal("experiment produced no tables")
+		}
+	}
+}
+
+func BenchmarkFig1MotivationNFS(b *testing.B)      { runExperiment(b, "fig1") }
+func BenchmarkFig2VirtioDMAPath(b *testing.B)      { runExperiment(b, "fig2") }
+func BenchmarkFig4NvmeDMAPath(b *testing.B)        { runExperiment(b, "fig4") }
+func BenchmarkFig6RawTransmission(b *testing.B)    { runExperiment(b, "fig6") }
+func BenchmarkSec41RawBandwidth(b *testing.B)      { runExperiment(b, "bw1") }
+func BenchmarkFig7StandaloneFile(b *testing.B)     { runExperiment(b, "fig7") }
+func BenchmarkFig8HybridCache(b *testing.B)        { runExperiment(b, "fig8") }
+func BenchmarkTable2Bandwidth(b *testing.B)        { runExperiment(b, "tab2") }
+func BenchmarkFig9DistributedFile(b *testing.B)    { runExperiment(b, "fig9") }
+func BenchmarkAblationQueueCount(b *testing.B)     { runExperiment(b, "abl1") }
+func BenchmarkAblationCachePlacement(b *testing.B) { runExperiment(b, "abl2") }
+func BenchmarkAblationPrefetch(b *testing.B)       { runExperiment(b, "abl3") }
+func BenchmarkAblationECPlacement(b *testing.B)    { runExperiment(b, "abl4") }
+func BenchmarkAblationTransforms(b *testing.B)     { runExperiment(b, "abl5") }
+func BenchmarkAblationReplacement(b *testing.B)    { runExperiment(b, "abl6") }
+
+// BenchmarkNvmeFS8KWrite measures the core protocol path in isolation and
+// reports the simulated single-thread latency.
+func BenchmarkNvmeFS8KWrite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		vw, vr, nw, nr := exp.DMACounts()
+		if vw != 11 || vr != 11 || nw != 4 || nr != 4 {
+			b.Fatalf("DMA counts drifted: virtio %d/%d nvme %d/%d", vw, vr, nw, nr)
+		}
+	}
+	b.ReportMetric(4, "dma/op-nvmefs")
+	b.ReportMetric(11, "dma/op-virtio")
+}

@@ -1,0 +1,375 @@
+package dpc
+
+import (
+	"errors"
+	"fmt"
+
+	"dpc/internal/cache"
+	"dpc/internal/dispatch"
+	"dpc/internal/kvfs"
+	"dpc/internal/nvme"
+	"dpc/internal/nvmefs"
+	"dpc/internal/sim"
+)
+
+// Errors returned by the client API.
+var (
+	ErrNotFound = errors.New("dpc: not found")
+	ErrExists   = errors.New("dpc: exists")
+	ErrNotDir   = errors.New("dpc: not a directory")
+	ErrIsDir    = errors.New("dpc: is a directory")
+	ErrNotEmpty = errors.New("dpc: directory not empty")
+	ErrIO       = errors.New("dpc: I/O error")
+)
+
+func statusErr(s uint16) error {
+	switch s {
+	case nvme.StatusOK:
+		return nil
+	case nvme.StatusNotFound:
+		return ErrNotFound
+	case nvme.StatusExists:
+		return ErrExists
+	case nvme.StatusNotDir:
+		return ErrNotDir
+	case nvme.StatusIsDir:
+		return ErrIsDir
+	case nvme.StatusNotEmpty:
+		return ErrNotEmpty
+	default:
+		return fmt.Errorf("%w: %s", ErrIO, nvme.StatusString(s))
+	}
+}
+
+// Client issues file operations to one of the system's services through
+// nvme-fs. It is the host side of DPC: the fs-adapter (hybrid-cache data
+// plane plus request conversion) and the NVME-INI driver.
+//
+// qid selects the nvme-fs queue; callers typically pass their thread index
+// so threads spread across queues.
+type Client struct {
+	sys         *System
+	dispatchBit uint8
+	cacheHost   *cache.Host
+	ctl         *cache.Ctl
+}
+
+// DirEntry is a directory listing entry.
+type DirEntry struct {
+	Name string
+	Ino  uint64
+}
+
+// Stat describes a file, mirroring the KVFS 256-byte attribute.
+type Stat struct {
+	Ino  uint64
+	Mode uint32
+	Size uint64
+}
+
+// File is an open file handle.
+type File struct {
+	c    *Client
+	Ino  uint64
+	Size uint64
+}
+
+// submit sends one nvme-fs command for this service.
+func (c *Client) submit(p *sim.Proc, qid int, sub nvmefs.Submission) nvmefs.Completion {
+	sub.Dispatch = c.dispatchBit
+	return c.sys.Driver.Submit(p, qid, sub)
+}
+
+// metaOp runs a path-based namespace operation and decodes the attribute.
+func (c *Client) metaOp(p *sim.Proc, qid int, op uint32, path, path2 string) (kvfs.Attr, error) {
+	hdr := dispatch.ReqHeader{PathLen: uint16(len(path)), Aux: uint16(len(path2))}
+	comp := c.submit(p, qid, nvmefs.Submission{
+		FileOp:  op,
+		Header:  hdr.Marshal(),
+		Payload: append([]byte(path), path2...),
+		RHLen:   kvfs.AttrSize,
+	})
+	if err := statusErr(comp.Status); err != nil {
+		return kvfs.Attr{}, err
+	}
+	if len(comp.Header) == kvfs.AttrSize {
+		a, err := kvfs.UnmarshalAttr(comp.Header)
+		return a, err
+	}
+	return kvfs.Attr{}, nil
+}
+
+// Create makes a new file and returns its handle.
+func (c *Client) Create(p *sim.Proc, qid int, path string) (*File, error) {
+	a, err := c.metaOp(p, qid, nvme.FileOpCreate, path, "")
+	if err != nil {
+		return nil, err
+	}
+	return &File{c: c, Ino: a.Ino}, nil
+}
+
+// Open resolves a path and returns a handle.
+func (c *Client) Open(p *sim.Proc, qid int, path string) (*File, error) {
+	a, err := c.metaOp(p, qid, nvme.FileOpLookup, path, "")
+	if err != nil {
+		return nil, err
+	}
+	return &File{c: c, Ino: a.Ino, Size: a.Size}, nil
+}
+
+// Mkdir creates a directory.
+func (c *Client) Mkdir(p *sim.Proc, qid int, path string) error {
+	_, err := c.metaOp(p, qid, nvme.FileOpMkdir, path, "")
+	return err
+}
+
+// Unlink removes a file.
+func (c *Client) Unlink(p *sim.Proc, qid int, path string) error {
+	_, err := c.metaOp(p, qid, nvme.FileOpUnlink, path, "")
+	return err
+}
+
+// Rmdir removes an empty directory.
+func (c *Client) Rmdir(p *sim.Proc, qid int, path string) error {
+	_, err := c.metaOp(p, qid, nvme.FileOpRmdir, path, "")
+	return err
+}
+
+// Rename moves a file or directory.
+func (c *Client) Rename(p *sim.Proc, qid int, oldPath, newPath string) error {
+	_, err := c.metaOp(p, qid, nvme.FileOpRename, oldPath, newPath)
+	return err
+}
+
+// StatPath looks up a path's attributes.
+func (c *Client) StatPath(p *sim.Proc, qid int, path string) (Stat, error) {
+	a, err := c.metaOp(p, qid, nvme.FileOpLookup, path, "")
+	if err != nil {
+		return Stat{}, err
+	}
+	return Stat{Ino: a.Ino, Mode: a.Mode, Size: a.Size}, nil
+}
+
+// Readdir lists a directory.
+func (c *Client) Readdir(p *sim.Proc, qid int, path string) ([]DirEntry, error) {
+	hdr := dispatch.ReqHeader{PathLen: uint16(len(path))}
+	comp := c.submit(p, qid, nvmefs.Submission{
+		FileOp:  nvme.FileOpReaddir,
+		Header:  hdr.Marshal(),
+		Payload: []byte(path),
+		RHLen:   1,
+		ReadLen: 64 * 1024,
+	})
+	if err := statusErr(comp.Status); err != nil {
+		return nil, err
+	}
+	names, inos, err := dispatch.DecodeDirEntries(comp.Data)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DirEntry, len(names))
+	for i := range names {
+		out[i] = DirEntry{Name: names[i], Ino: inos[i]}
+	}
+	return out, nil
+}
+
+// Sync flushes one file's dirty cache pages to the backend (fsync).
+func (f *File) Sync(p *sim.Proc, qid int) error {
+	hdr := dispatch.ReqHeader{Ino: f.Ino}
+	comp := f.c.submit(p, qid, nvmefs.Submission{
+		FileOp: nvme.FileOpFlush,
+		Header: hdr.Marshal(),
+		RHLen:  1,
+	})
+	return statusErr(comp.Status)
+}
+
+// Sync flushes the service's dirty cache pages to the backend.
+func (c *Client) Sync(p *sim.Proc, qid int) error {
+	hdr := dispatch.ReqHeader{}
+	comp := c.submit(p, qid, nvmefs.Submission{
+		FileOp: nvme.FileOpBarrier,
+		Header: hdr.Marshal(),
+		RHLen:  1,
+	})
+	return statusErr(comp.Status)
+}
+
+// CacheStats reports the host-side cache counters (hits, misses).
+func (c *Client) CacheStats() (hits, misses int64) {
+	if c.cacheHost == nil {
+		return 0, 0
+	}
+	return c.cacheHost.Hits.Total(), c.cacheHost.Misses.Total()
+}
+
+// ---- data path ----
+
+// Write stores data at off. With direct=true the payload goes straight to
+// the DPU over nvme-fs (zero-copy DIO). Buffered writes of whole,
+// page-aligned pages land in the hybrid cache at host-memory speed and are
+// flushed asynchronously by the DPU control plane; anything unaligned
+// falls back to the direct path.
+func (f *File) Write(p *sim.Proc, qid int, off uint64, data []byte, direct bool) error {
+	c := f.c
+	ps := uint64(0)
+	if c.cacheHost != nil {
+		ps = uint64(c.cacheHost.L.PageSize)
+	}
+	if !direct && ps > 0 && off%ps == 0 && uint64(len(data))%ps == 0 && len(data) > 0 {
+		for done := uint64(0); done < uint64(len(data)); done += ps {
+			lpn := (off + done) / ps
+			page := data[done : done+ps]
+			if err := c.writePageCached(p, qid, f.Ino, lpn, page); err != nil {
+				return err
+			}
+		}
+		if end := off + uint64(len(data)); end > f.Size {
+			f.Size = end
+		}
+		return nil
+	}
+	return f.writeDirect(p, qid, off, data)
+}
+
+func (f *File) writeDirect(p *sim.Proc, qid int, off uint64, data []byte) error {
+	maxIO := f.c.sys.Driver.MaxIO()
+	for done := 0; done < len(data); done += maxIO {
+		end := done + maxIO
+		if end > len(data) {
+			end = len(data)
+		}
+		chunk := data[done:end]
+		hdr := dispatch.ReqHeader{Ino: f.Ino, Off: off + uint64(done), Len: uint32(len(chunk))}
+		comp := f.c.submit(p, qid, nvmefs.Submission{
+			FileOp:  nvme.FileOpWrite,
+			Header:  hdr.Marshal(),
+			Payload: chunk,
+		})
+		if err := statusErr(comp.Status); err != nil {
+			return err
+		}
+	}
+	if end := off + uint64(len(data)); end > f.Size {
+		f.Size = end
+	}
+	return nil
+}
+
+// writePageCached inserts one page into the hybrid cache, asking the DPU to
+// reclaim space when the bucket is full (the paper's front-end write flow).
+func (c *Client) writePageCached(p *sim.Proc, qid int, ino, lpn uint64, page []byte) error {
+	for attempt := 0; attempt < 4; attempt++ {
+		if c.cacheHost.WritePage(p, ino, lpn, page) {
+			return nil
+		}
+		hdr := dispatch.ReqHeader{Ino: ino, Off: lpn, Len: 4}
+		comp := c.submit(p, qid, nvmefs.Submission{
+			FileOp: nvme.FileOpCacheEvict,
+			Header: hdr.Marshal(),
+			RHLen:  1,
+		})
+		if err := statusErr(comp.Status); err != nil {
+			return err
+		}
+	}
+	// The bucket would not drain (all entries hot); write through instead.
+	hdr := dispatch.ReqHeader{Ino: ino, Off: lpn * uint64(c.cacheHost.L.PageSize), Len: uint32(len(page))}
+	comp := c.submit(p, qid, nvmefs.Submission{
+		FileOp:  nvme.FileOpWrite,
+		Header:  hdr.Marshal(),
+		Payload: page,
+	})
+	return statusErr(comp.Status)
+}
+
+// Read returns up to n bytes at off. Buffered page-aligned reads go through
+// the hybrid cache: hits are served from host memory with no PCIe traffic;
+// misses are filled by the DPU (which also drives the prefetcher).
+func (f *File) Read(p *sim.Proc, qid int, off uint64, n int, direct bool) ([]byte, error) {
+	c := f.c
+	ps := uint64(0)
+	if c.cacheHost != nil {
+		ps = uint64(c.cacheHost.L.PageSize)
+	}
+	if !direct && ps > 0 && off%ps == 0 && uint64(n)%ps == 0 && n > 0 {
+		out := make([]byte, 0, n)
+		for done := uint64(0); done < uint64(n); done += ps {
+			lpn := (off + done) / ps
+			page, err := c.readPageCached(p, qid, f.Ino, lpn)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, page...)
+		}
+		return out, nil
+	}
+	return f.readDirect(p, qid, off, n)
+}
+
+func (f *File) readDirect(p *sim.Proc, qid int, off uint64, n int) ([]byte, error) {
+	maxIO := f.c.sys.Driver.MaxIO()
+	var out []byte
+	for done := 0; done < n; done += maxIO {
+		want := n - done
+		if want > maxIO {
+			want = maxIO
+		}
+		hdr := dispatch.ReqHeader{Ino: f.Ino, Off: off + uint64(done), Len: uint32(want)}
+		comp := f.c.submit(p, qid, nvmefs.Submission{
+			FileOp:  nvme.FileOpRead,
+			Header:  hdr.Marshal(),
+			RHLen:   1,
+			ReadLen: want,
+		})
+		if err := statusErr(comp.Status); err != nil {
+			return nil, err
+		}
+		out = append(out, comp.Data...)
+		if len(comp.Data) < want {
+			break // EOF
+		}
+	}
+	return out, nil
+}
+
+// readPageCached serves one page through the hybrid cache.
+func (c *Client) readPageCached(p *sim.Proc, qid int, ino, lpn uint64) ([]byte, error) {
+	ps := uint64(c.cacheHost.L.PageSize)
+	for attempt := 0; attempt < 3; attempt++ {
+		if data, ok := c.cacheHost.Lookup(p, ino, lpn); ok {
+			return data, nil
+		}
+		// Miss: ask the DPU to fill the cache. On success only the entry
+		// index crosses back (Result = idx+1) and we re-read host memory.
+		hdr := dispatch.ReqHeader{Ino: ino, Off: lpn * ps, Len: uint32(ps), Flags: dispatch.FlagFillCache}
+		comp := c.submit(p, qid, nvmefs.Submission{
+			FileOp:  nvme.FileOpRead,
+			Header:  hdr.Marshal(),
+			RHLen:   8,
+			ReadLen: int(ps),
+		})
+		if err := statusErr(comp.Status); err != nil {
+			return nil, err
+		}
+		if filled, _ := dispatch.ParseFillHeader(comp.Header); !filled {
+			// The DPU could not fill the bucket; data came back inline.
+			return comp.Data, nil
+		}
+		// Filled: loop back to Lookup (covers the rare race where the
+		// entry is evicted before we get to it).
+	}
+	// Persistent race: fall back to an uncached read.
+	hdr := dispatch.ReqHeader{Ino: ino, Off: lpn * ps, Len: uint32(ps)}
+	comp := c.submit(p, qid, nvmefs.Submission{
+		FileOp:  nvme.FileOpRead,
+		Header:  hdr.Marshal(),
+		RHLen:   1,
+		ReadLen: int(ps),
+	})
+	if err := statusErr(comp.Status); err != nil {
+		return nil, err
+	}
+	return comp.Data, nil
+}

@@ -1,0 +1,71 @@
+// Command dpcbench reproduces the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	dpcbench                 # run every experiment at full scale
+//	dpcbench -run fig6,fig7  # run selected experiments
+//	dpcbench -quick          # shorter windows / fewer sweep points
+//	dpcbench -list           # list experiment IDs
+//	dpcbench -env            # print the simulated testbed (Table 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dpc/internal/exp"
+	"dpc/internal/model"
+)
+
+func main() {
+	var (
+		runIDs = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		quick  = flag.Bool("quick", false, "shorter measurement windows")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		env    = flag.Bool("env", false, "print the simulated testbed and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-6s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *env {
+		m := model.NewMachine(model.Default())
+		fmt.Print(m.EnvString())
+		return
+	}
+
+	scale := exp.Full
+	if *quick {
+		scale = exp.Quick
+	}
+
+	var selected []*exp.Experiment
+	if *runIDs == "" {
+		selected = exp.All()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			e := exp.ByID(strings.TrimSpace(id))
+			if e == nil {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+				os.Exit(1)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		fmt.Printf("\n### %s — %s\n", e.ID, e.Title)
+		start := time.Now()
+		for _, t := range e.Run(scale) {
+			t.Fprint(os.Stdout)
+		}
+		fmt.Printf("  (wall time %.1fs)\n", time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,316 @@
+// Command dpcfio is a fio/vdbench-style workload driver for every stack in
+// the repository: local Ext4, DPC's standalone KVFS, and the three DFS
+// clients. It reproduces ad-hoc experiments outside the fixed paper sweeps.
+//
+// Examples:
+//
+//	dpcfio -stack kvfs -rw randread -bs 8k -threads 64 -runtime 50ms
+//	dpcfio -stack ext4 -rw randwrite -bs 4k -threads 256
+//	dpcfio -stack dfs-dpc -rw seqread -bs 1m -threads 16 -buffered
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dpc"
+	"dpc/internal/dfs"
+	"dpc/internal/localfs"
+	"dpc/internal/model"
+	"dpc/internal/sim"
+	"dpc/internal/ssd"
+	"dpc/internal/workload"
+)
+
+func main() {
+	var (
+		stack    = flag.String("stack", "kvfs", "ext4 | kvfs | dfs-std | dfs-opt | dfs-dpc")
+		rw       = flag.String("rw", "randread", "randread | randwrite | randrw | seqread | seqwrite")
+		bs       = flag.String("bs", "8k", "block size (e.g. 4k, 8k, 1m)")
+		threads  = flag.Int("threads", 32, "concurrent closed-loop threads")
+		runtime  = flag.Duration("runtime", 25*time.Millisecond, "measurement window (virtual time)")
+		warmup   = flag.Duration("warmup", 5*time.Millisecond, "warmup window (virtual time)")
+		fileMB   = flag.Int("filesize", 32, "per-file size in MB")
+		files    = flag.Int("files", 4, "number of files")
+		readPct  = flag.Int("rwmixread", 70, "read percentage for randrw")
+		buffered = flag.Bool("buffered", false, "use the cache/buffered path instead of direct I/O")
+		seed     = flag.Int64("seed", 1, "workload RNG seed")
+	)
+	flag.Parse()
+
+	ioSize, err := parseSize(*bs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fileSize := uint64(*fileMB) << 20
+
+	gen, kindName := makeGen(*rw, ioSize, fileSize, *readPct)
+	st, err := makeStack(*stack, fileSize, *files, ioSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st.hostCPU.Mark()
+	if st.dpuCPU != nil {
+		st.dpuCPU.Mark()
+	}
+	res := workload.Run(st.eng, workload.Config{
+		Threads: *threads, Warmup: *warmup, Measure: *runtime, Seed: *seed,
+	}, gen, func(p *sim.Proc, tid int, a workload.Access) error {
+		if a.Kind == workload.Write {
+			return st.write(p, tid, a.Off, make([]byte, a.Size), *buffered)
+		}
+		_, err := st.read(p, tid, a.Off, a.Size, *buffered)
+		return err
+	})
+
+	mode := "direct"
+	if *buffered {
+		mode = "buffered"
+	}
+	fmt.Printf("stack=%s rw=%s bs=%s threads=%d mode=%s window=%v\n",
+		*stack, kindName, *bs, *threads, mode, *runtime)
+	fmt.Printf("  ops      : %d (%d errors)\n", res.Ops, res.Errors)
+	fmt.Printf("  IOPS     : %.0f\n", res.IOPS())
+	fmt.Printf("  BW       : %.2f GB/s\n", res.GBps())
+	fmt.Printf("  lat mean : %v\n", res.Lat.Mean())
+	fmt.Printf("  lat p50  : %v\n", res.Lat.Percentile(50))
+	fmt.Printf("  lat p99  : %v\n", res.Lat.Percentile(99))
+	fmt.Printf("  lat max  : %v\n", res.Lat.Max())
+	fmt.Printf("  host CPU : %.2f cores\n", st.hostCPU.CoresUsed())
+	if st.dpuCPU != nil {
+		fmt.Printf("  DPU CPU  : %.2f cores\n", st.dpuCPU.CoresUsed())
+	}
+	st.stop()
+}
+
+func parseSize(s string) (int, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1024, s[:len(s)-1]
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad block size %q", s)
+	}
+	return n * mult, nil
+}
+
+func makeGen(rw string, ioSize int, fileSize uint64, readPct int) (workload.Generator, string) {
+	switch rw {
+	case "randread":
+		return workload.RandomGen(ioSize, fileSize, 100), "randread"
+	case "randwrite":
+		return workload.RandomGen(ioSize, fileSize, 0), "randwrite"
+	case "randrw":
+		return workload.RandomGen(ioSize, fileSize, readPct), fmt.Sprintf("randrw(%d%%rd)", readPct)
+	case "seqread":
+		return workload.SequentialGen(ioSize, fileSize, workload.Read), "seqread"
+	case "seqwrite":
+		return workload.SequentialGen(ioSize, fileSize, workload.Write), "seqwrite"
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -rw %q\n", rw)
+		os.Exit(1)
+		return nil, ""
+	}
+}
+
+// stackHandle abstracts the five stacks behind a uniform data path.
+type stackHandle struct {
+	eng     *sim.Engine
+	hostCPU *cpuPool
+	dpuCPU  *cpuPool
+	write   func(p *sim.Proc, tid int, off uint64, data []byte, buffered bool) error
+	read    func(p *sim.Proc, tid int, off uint64, n int, buffered bool) ([]byte, error)
+	stop    func()
+}
+
+// cpuPool is the minimal view dpcfio needs.
+type cpuPool struct {
+	Mark      func()
+	CoresUsed func() float64
+}
+
+func poolOf(m interface {
+	Mark()
+	CoresUsed() float64
+}) *cpuPool {
+	return &cpuPool{Mark: m.Mark, CoresUsed: m.CoresUsed}
+}
+
+func makeStack(name string, fileSize uint64, files, ioSize int) (*stackHandle, error) {
+	switch name {
+	case "ext4":
+		return makeExt4(fileSize, files)
+	case "kvfs":
+		return makeKVFS(fileSize, files, true)
+	case "dfs-std", "dfs-opt":
+		return makeDFSHost(name, fileSize, files)
+	case "dfs-dpc":
+		return makeDFSDPC(fileSize, files)
+	}
+	return nil, fmt.Errorf("unknown stack %q", name)
+}
+
+func makeExt4(fileSize uint64, files int) (*stackHandle, error) {
+	cfg := model.Default()
+	cfg.HostMemMB = 16
+	m := model.NewMachine(cfg)
+	dev := ssd.New(m.Eng, cfg.SSD)
+	fs := localfs.New(m, dev, localfs.DefaultConfig())
+	var inos []uint64
+	m.Eng.Go("setup", func(p *sim.Proc) {
+		chunk := make([]byte, 1<<20)
+		for i := 0; i < files; i++ {
+			ino, err := fs.Create(p, fmt.Sprintf("/f%d", i))
+			if err != nil {
+				log.Fatal(err)
+			}
+			for off := uint64(0); off < fileSize; off += 1 << 20 {
+				fs.Write(p, ino, off, chunk, true)
+			}
+			inos = append(inos, ino)
+		}
+	})
+	m.Eng.Run()
+	return &stackHandle{
+		eng:     m.Eng,
+		hostCPU: poolOf(m.HostCPU),
+		write: func(p *sim.Proc, tid int, off uint64, data []byte, buffered bool) error {
+			return fs.Write(p, inos[tid%len(inos)], off, data, !buffered)
+		},
+		read: func(p *sim.Proc, tid int, off uint64, n int, buffered bool) ([]byte, error) {
+			return fs.Read(p, inos[tid%len(inos)], off, n, !buffered)
+		},
+		stop: func() { m.Eng.Shutdown() },
+	}, nil
+}
+
+func makeKVFS(fileSize uint64, files int, cache bool) (*stackHandle, error) {
+	opts := dpc.DefaultOptions()
+	opts.Model.HostMemMB = 256
+	if !cache {
+		opts.CachePages = 0
+	}
+	sys := dpc.New(opts)
+	cl := sys.KVFSClient()
+	var fhs []*dpc.File
+	sys.Go(func(p *sim.Proc) {
+		chunk := make([]byte, 1<<20)
+		for i := 0; i < files; i++ {
+			f, err := cl.Create(p, 0, fmt.Sprintf("/f%d", i))
+			if err != nil {
+				log.Fatal(err)
+			}
+			for off := uint64(0); off < fileSize; off += 1 << 20 {
+				f.Write(p, 0, off, chunk, true)
+			}
+			fhs = append(fhs, f)
+		}
+	})
+	sys.RunFor(time.Minute)
+	return &stackHandle{
+		eng:     sys.M.Eng,
+		hostCPU: poolOf(sys.M.HostCPU),
+		dpuCPU:  poolOf(sys.M.DPUCPU),
+		write: func(p *sim.Proc, tid int, off uint64, data []byte, buffered bool) error {
+			return fhs[tid%len(fhs)].Write(p, tid, off, data, !buffered)
+		},
+		read: func(p *sim.Proc, tid int, off uint64, n int, buffered bool) ([]byte, error) {
+			return fhs[tid%len(fhs)].Read(p, tid, off, n, !buffered)
+		},
+		stop: func() { sys.StopDaemons(); sys.Shutdown() },
+	}, nil
+}
+
+func makeDFSHost(kind string, fileSize uint64, files int) (*stackHandle, error) {
+	cfg := model.Default()
+	cfg.HostMemMB = 16
+	m := model.NewMachine(cfg)
+	b := dfs.NewBackend(m.Eng, m.Net, dfs.DefaultBackendConfig())
+	var wr func(p *sim.Proc, ino, off uint64, data []byte) error
+	var rd func(p *sim.Proc, ino, off uint64, n int) ([]byte, error)
+	var mk func(p *sim.Proc, path string) (uint64, error)
+	if kind == "dfs-std" {
+		cl := dfs.NewStdClient(b, m.HostNode, m.HostCPU, dfs.DefaultStdClientConfig())
+		wr = func(p *sim.Proc, ino, off uint64, d []byte) error { return cl.Write(p, ino, off, d) }
+		rd = func(p *sim.Proc, ino, off uint64, n int) ([]byte, error) { return cl.Read(p, ino, off, n) }
+		mk = func(p *sim.Proc, path string) (uint64, error) { return cl.Create(p, path) }
+	} else {
+		cl := dfs.NewCore(b, m.HostNode, m.HostCPU, dfs.DefaultCoreCosts())
+		wr = func(p *sim.Proc, ino, off uint64, d []byte) error { return cl.Write(p, ino, off, d) }
+		rd = func(p *sim.Proc, ino, off uint64, n int) ([]byte, error) { return cl.Read(p, ino, off, n) }
+		mk = func(p *sim.Proc, path string) (uint64, error) { return cl.Create(p, path) }
+	}
+	var inos []uint64
+	m.Eng.Go("setup", func(p *sim.Proc) {
+		chunk := make([]byte, 1<<20)
+		for i := 0; i < files; i++ {
+			ino, err := mk(p, fmt.Sprintf("/f%d", i))
+			if err != nil {
+				log.Fatal(err)
+			}
+			for off := uint64(0); off < fileSize; off += 1 << 20 {
+				wr(p, ino, off, chunk)
+			}
+			inos = append(inos, ino)
+		}
+	})
+	m.Eng.Run()
+	return &stackHandle{
+		eng:     m.Eng,
+		hostCPU: poolOf(m.HostCPU),
+		write: func(p *sim.Proc, tid int, off uint64, data []byte, buffered bool) error {
+			return wr(p, inos[tid%len(inos)], off, data)
+		},
+		read: func(p *sim.Proc, tid int, off uint64, n int, buffered bool) ([]byte, error) {
+			return rd(p, inos[tid%len(inos)], off, n)
+		},
+		stop: func() { m.Eng.Shutdown() },
+	}, nil
+}
+
+func makeDFSDPC(fileSize uint64, files int) (*stackHandle, error) {
+	opts := dpc.DefaultOptions()
+	opts.Model.HostMemMB = 256
+	opts.EnableKVFS = false
+	opts.EnableDFS = true
+	sys := dpc.New(opts)
+	cl := sys.DFSClient()
+	var fhs []*dpc.File
+	sys.Go(func(p *sim.Proc) {
+		chunk := make([]byte, 1<<20)
+		for i := 0; i < files; i++ {
+			f, err := cl.Create(p, 0, fmt.Sprintf("/f%d", i))
+			if err != nil {
+				log.Fatal(err)
+			}
+			for off := uint64(0); off < fileSize; off += 1 << 20 {
+				f.Write(p, 0, off, chunk, true)
+			}
+			fhs = append(fhs, f)
+		}
+	})
+	sys.RunFor(time.Minute)
+	return &stackHandle{
+		eng:     sys.M.Eng,
+		hostCPU: poolOf(sys.M.HostCPU),
+		dpuCPU:  poolOf(sys.M.DPUCPU),
+		write: func(p *sim.Proc, tid int, off uint64, data []byte, buffered bool) error {
+			return fhs[tid%len(fhs)].Write(p, tid, off, data, !buffered)
+		},
+		read: func(p *sim.Proc, tid int, off uint64, n int, buffered bool) ([]byte, error) {
+			return fhs[tid%len(fhs)].Read(p, tid, off, n, !buffered)
+		},
+		stop: func() { sys.StopDaemons(); sys.Shutdown() },
+	}, nil
+}

@@ -1,0 +1,107 @@
+// Command dpctrace traces a single 8 KB write and read through both
+// transports — virtio-fs (DPFS) and nvme-fs (DPC) — printing every PCIe
+// operation with its label, direction and size. Its output is the textual
+// version of the paper's Figures 2(b) and 4.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"dpc/internal/fuse"
+	"dpc/internal/model"
+	"dpc/internal/nvme"
+	"dpc/internal/nvmefs"
+	"dpc/internal/pcie"
+	"dpc/internal/sim"
+	"dpc/internal/virtio"
+)
+
+func main() {
+	size := flag.Int("size", 8192, "I/O size in bytes")
+	flag.Parse()
+
+	fmt.Printf("=== virtio-fs (DPFS path), %d-byte write+read ===\n", *size)
+	traceVirtio(*size)
+	fmt.Printf("\n=== nvme-fs (DPC path), %d-byte write+read ===\n", *size)
+	traceNvme(*size)
+}
+
+func tracer(m *model.Machine, count *int) {
+	m.PCIe.Trace = func(ev pcie.Event) {
+		*count++
+		fmt.Printf("  %2d. [%8s] %-6s %-12s %5dB  @%v\n",
+			*count, ev.Op, ev.Dir, ev.Label, ev.Bytes, ev.At)
+	}
+}
+
+func traceVirtio(size int) {
+	cfg := model.Default()
+	cfg.HostMemMB = 64
+	cfg.DPUMemMB = 8
+	m := model.NewMachine(cfg)
+	store := map[uint64][]byte{}
+	tr := virtio.NewTransport(m, virtio.Config{QueueSize: 256, Slots: 16, MaxIO: 1 << 20},
+		func(p *sim.Proc, req fuse.Request) fuse.Response {
+			switch req.Header.Opcode {
+			case fuse.OpWrite:
+				store[req.IO.Offset] = append([]byte(nil), req.Data...)
+				return fuse.Response{}
+			case fuse.OpRead:
+				return fuse.Response{Data: store[req.IO.Offset]}
+			}
+			return fuse.Response{Error: -38}
+		})
+	n := 0
+	m.Eng.Go("trace", func(p *sim.Proc) {
+		fmt.Println("-- write --")
+		tracer(m, &n)
+		if err := tr.Write(p, 1, 1, 0, make([]byte, size)); err != nil {
+			fmt.Println("write error:", err)
+		}
+		writeDMAs := n
+		fmt.Printf("   write total: %d PCIe ops\n", writeDMAs)
+		n = 0
+		fmt.Println("-- read --")
+		if _, err := tr.Read(p, 1, 1, 0, size); err != nil {
+			fmt.Println("read error:", err)
+		}
+		fmt.Printf("   read total: %d PCIe ops\n", n)
+	})
+	m.Eng.Run()
+	m.Eng.Shutdown()
+}
+
+func traceNvme(size int) {
+	cfg := model.Default()
+	cfg.HostMemMB = 64
+	cfg.DPUMemMB = 8
+	m := model.NewMachine(cfg)
+	store := map[uint64][]byte{}
+	d := nvmefs.NewDriver(m, nvmefs.Config{Queues: 1, Depth: 16, SlotsPerQ: 8, MaxIO: 1 << 20, RHCap: 64},
+		func(p *sim.Proc, req nvmefs.Request) nvmefs.Response {
+			off := req.SQE.DW12
+			switch req.SQE.FileOp {
+			case nvme.FileOpWrite:
+				store[uint64(off)] = append([]byte(nil), req.Data...)
+				return nvmefs.Response{Status: nvme.StatusOK, Result: uint32(len(req.Data))}
+			case nvme.FileOpRead:
+				return nvmefs.Response{Status: nvme.StatusOK, Header: []byte{1}, Data: store[uint64(off)]}
+			}
+			return nvmefs.Response{Status: nvme.StatusInvalid}
+		})
+	n := 0
+	m.Eng.Go("trace", func(p *sim.Proc) {
+		hdr := make([]byte, 16)
+		fmt.Println("-- write --")
+		tracer(m, &n)
+		d.Submit(p, 0, nvmefs.Submission{FileOp: nvme.FileOpWrite, Header: hdr, Payload: make([]byte, size)})
+		fmt.Printf("   write total: %d PCIe ops\n", n)
+		n = 0
+		fmt.Println("-- read --")
+		d.Submit(p, 0, nvmefs.Submission{FileOp: nvme.FileOpRead, Header: hdr, RHLen: 1, ReadLen: size})
+		fmt.Printf("   read total: %d PCIe ops\n", n)
+	})
+	m.Eng.Run()
+	m.Eng.Shutdown()
+}

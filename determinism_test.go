@@ -1,0 +1,61 @@
+package dpc
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dpc/internal/sim"
+	"dpc/internal/workload"
+)
+
+// TestSystemDeterminism: two identically configured systems running the
+// same workload must produce bit-identical results — operation counts,
+// virtual-time latencies, PCIe traffic and CPU accounting. This is the
+// property that makes every number in EXPERIMENTS.md exactly reproducible.
+func TestSystemDeterminism(t *testing.T) {
+	run := func() string {
+		opts := DefaultOptions()
+		opts.Model.HostMemMB = 192
+		opts.Model.DPUMemMB = 8
+		opts.CachePages = 1024
+		sys := New(opts)
+		cl := sys.KVFSClient()
+		var files []*File
+		sys.Go(func(p *sim.Proc) {
+			for i := 0; i < 4; i++ {
+				f, err := cl.Create(p, 0, fmt.Sprintf("/f%d", i))
+				if err != nil {
+					t.Errorf("create: %v", err)
+					return
+				}
+				f.Write(p, 0, 0, make([]byte, 1<<20), true)
+				files = append(files, f)
+			}
+		})
+		sys.RunFor(time.Second)
+
+		res := workload.Run(sys.M.Eng, workload.Config{
+			Threads: 16, Warmup: time.Millisecond, Measure: 5 * time.Millisecond, Seed: 99,
+		}, workload.RandomGen(8192, 1<<20, 70), func(p *sim.Proc, tid int, a workload.Access) error {
+			f := files[tid%len(files)]
+			if a.Kind == workload.Write {
+				return f.Write(p, tid, a.Off, make([]byte, a.Size), tid%2 == 0)
+			}
+			_, err := f.Read(p, tid, a.Off, a.Size, tid%2 == 0)
+			return err
+		})
+
+		fingerprint := fmt.Sprintf("ops=%d bytes=%d mean=%v p99=%v dmas=%d mmios=%d atomics=%d kvops=%d now=%v",
+			res.Ops, res.Bytes, res.Lat.Mean(), res.Lat.Percentile(99),
+			sys.M.PCIe.DMAs.Total(), sys.M.PCIe.MMIOs.Total(), sys.M.PCIe.Atomics.Total(),
+			sys.KVCluster.Ops.Total(), sys.Now())
+		sys.StopDaemons()
+		sys.Shutdown()
+		return fingerprint
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic runs:\n  a: %s\n  b: %s", a, b)
+	}
+}

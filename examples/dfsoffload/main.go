@@ -1,0 +1,147 @@
+// dfsoffload runs the same distributed-file workload through the three
+// fs-client flavors of the paper's Figure 9 — the standard NFS-style
+// client, the host-side optimized client (client-side EC + direct I/O +
+// delegations) and DPC (the same optimizations offloaded to the DPU) — and
+// prints the throughput/host-CPU tradeoff each one makes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dpc"
+	"dpc/internal/dfs"
+	"dpc/internal/model"
+	"dpc/internal/sim"
+	"dpc/internal/workload"
+)
+
+const (
+	fileSize = 8 << 20
+	ioSize   = 8192
+	threads  = 32
+)
+
+func main() {
+	fmt.Printf("%-16s %12s %12s %12s\n", "client", "write IOPS", "read IOPS", "host cores")
+
+	runStd()
+	runOpt()
+	runDPC()
+
+	fmt.Println("\nThe optimized client buys its IOPS with host CPU; DPC buys")
+	fmt.Println("the same IOPS with DPU cycles, leaving the host to the")
+	fmt.Println("application. That is the paper's core claim.")
+}
+
+type measured struct {
+	wIOPS, rIOPS, cores float64
+}
+
+func report(name string, m measured) {
+	fmt.Printf("%-16s %12.0f %12.0f %12.1f\n", name, m.wIOPS, m.rIOPS, m.cores)
+}
+
+func drive(eng *sim.Engine, hostCPU interface {
+	Mark()
+	CoresUsed() float64
+}, write func(p *sim.Proc, tid int, off uint64, data []byte) error,
+	read func(p *sim.Proc, tid int, off uint64, n int) ([]byte, error)) measured {
+
+	cfg := workload.Config{Threads: threads, Warmup: 2 * time.Millisecond, Measure: 10 * time.Millisecond, Seed: 1}
+	hostCPU.Mark()
+	wres := workload.Run(eng, cfg, workload.RandomGen(ioSize, fileSize, 0),
+		func(p *sim.Proc, tid int, a workload.Access) error {
+			return write(p, tid, a.Off, make([]byte, a.Size))
+		})
+	cores := hostCPU.CoresUsed()
+	rres := workload.Run(eng, cfg, workload.RandomGen(ioSize, fileSize, 100),
+		func(p *sim.Proc, tid int, a workload.Access) error {
+			_, err := read(p, tid, a.Off, a.Size)
+			return err
+		})
+	return measured{wIOPS: wres.IOPS(), rIOPS: rres.IOPS(), cores: cores}
+}
+
+func prealloc(eng *sim.Engine, write func(p *sim.Proc, tid int, off uint64, data []byte) error) {
+	eng.Go("setup", func(p *sim.Proc) {
+		chunk := make([]byte, 1<<20)
+		for off := uint64(0); off < fileSize; off += 1 << 20 {
+			if err := write(p, 0, off, chunk); err != nil {
+				log.Fatal(err)
+			}
+		}
+	})
+	eng.RunUntil(eng.Now() + sim.Time(10*time.Second))
+}
+
+func runStd() {
+	cfg := model.Default()
+	m := model.NewMachine(cfg)
+	b := dfs.NewBackend(m.Eng, m.Net, dfs.DefaultBackendConfig())
+	cl := dfs.NewStdClient(b, m.HostNode, m.HostCPU, dfs.DefaultStdClientConfig())
+	var ino uint64
+	m.Eng.Go("create", func(p *sim.Proc) {
+		var err error
+		ino, err = cl.Create(p, "/data")
+		if err != nil {
+			log.Fatal(err)
+		}
+	})
+	m.Eng.Run()
+	w := func(p *sim.Proc, tid int, off uint64, data []byte) error { return cl.Write(p, ino, off, data) }
+	r := func(p *sim.Proc, tid int, off uint64, n int) ([]byte, error) { return cl.Read(p, ino, off, n) }
+	prealloc(m.Eng, w)
+	report("NFS", drive(m.Eng, m.HostCPU, w, r))
+	m.Eng.Shutdown()
+}
+
+func runOpt() {
+	cfg := model.Default()
+	m := model.NewMachine(cfg)
+	b := dfs.NewBackend(m.Eng, m.Net, dfs.DefaultBackendConfig())
+	cl := dfs.NewCore(b, m.HostNode, m.HostCPU, dfs.DefaultCoreCosts())
+	var ino uint64
+	m.Eng.Go("create", func(p *sim.Proc) {
+		var err error
+		ino, err = cl.Create(p, "/data")
+		if err != nil {
+			log.Fatal(err)
+		}
+	})
+	m.Eng.Run()
+	w := func(p *sim.Proc, tid int, off uint64, data []byte) error { return cl.Write(p, ino, off, data) }
+	r := func(p *sim.Proc, tid int, off uint64, n int) ([]byte, error) { return cl.Read(p, ino, off, n) }
+	prealloc(m.Eng, w)
+	report("NFS+opt-client", drive(m.Eng, m.HostCPU, w, r))
+	m.Eng.Shutdown()
+}
+
+func runDPC() {
+	opts := dpc.DefaultOptions()
+	opts.EnableKVFS = false
+	opts.EnableDFS = true
+	opts.CachePages = 0 // direct I/O apples-to-apples with the host clients
+	sys := dpc.New(opts)
+	cl := sys.DFSClient()
+	var f *dpc.File
+	sys.Go(func(p *sim.Proc) {
+		var err error
+		f, err = cl.Create(p, 0, "/data")
+		if err != nil {
+			log.Fatal(err)
+		}
+	})
+	sys.RunFor(time.Second)
+	w := func(p *sim.Proc, tid int, off uint64, data []byte) error {
+		return f.Write(p, tid, off, data, true)
+	}
+	r := func(p *sim.Proc, tid int, off uint64, n int) ([]byte, error) {
+		return f.Read(p, tid, off, n, true)
+	}
+	prealloc(sys.M.Eng, w)
+	report("NFS+DPC", drive(sys.M.Eng, sys.M.HostCPU, w, r))
+	sys.StopDaemons()
+	sys.Shutdown()
+}

@@ -1,0 +1,432 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"dpc/internal/model"
+	"dpc/internal/sim"
+)
+
+// memBackend is an in-DPU-memory page store for tests.
+type memBackend struct {
+	pages  map[[2]uint64][]byte
+	writes int
+	reads  int
+}
+
+func newMemBackend() *memBackend { return &memBackend{pages: map[[2]uint64][]byte{}} }
+
+func (b *memBackend) ReadPage(p *sim.Proc, ino, lpn uint64, pageSize int) ([]byte, bool) {
+	b.reads++
+	d, ok := b.pages[[2]uint64{ino, lpn}]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), d...), true
+}
+
+func (b *memBackend) WritePage(p *sim.Proc, ino, lpn uint64, data []byte) {
+	b.writes++
+	b.pages[[2]uint64{ino, lpn}] = append([]byte(nil), data...)
+}
+
+func newTestCache(t *testing.T, pages, buckets int, ctlCfg CtlConfig) (*model.Machine, Layout, *Host, *Ctl, *memBackend) {
+	t.Helper()
+	cfg := model.Default()
+	cfg.HostMemMB = 64
+	cfg.DPUMemMB = 8
+	m := model.NewMachine(cfg)
+	base := m.AllocHost(NewLayout(0, 4096, pages, buckets).Size(), 4096)
+	l := NewLayout(base, 4096, pages, buckets)
+	InitHeader(m.HostMem, l, ModeWrite)
+	h := NewHost(m, l)
+	b := newMemBackend()
+	c := NewCtl(m, l, b, ctlCfg)
+	return m, l, h, c, b
+}
+
+func page(seed byte) []byte { return bytes.Repeat([]byte{seed}, 4096) }
+
+func TestLayoutGeometry(t *testing.T) {
+	l := NewLayout(0x1000, 4096, 64, 8)
+	if l.Size() != HeaderSize+64*EntrySize+64*4096 {
+		t.Fatalf("Size = %d", l.Size())
+	}
+	if l.EntriesPerBucket() != 8 {
+		t.Fatalf("EntriesPerBucket = %d", l.EntriesPerBucket())
+	}
+	if l.EntryAddr(0) != 0x1000+HeaderSize {
+		t.Fatalf("EntryAddr(0) = %#x", uint64(l.EntryAddr(0)))
+	}
+	if l.PageAddr(0) != l.DataBase() {
+		t.Fatal("PageAddr(0) != DataBase")
+	}
+	// Entry i and page i correspond.
+	if l.PageAddr(5)-l.PageAddr(4) != 4096 {
+		t.Fatal("page stride wrong")
+	}
+}
+
+func TestInitHeaderFields(t *testing.T) {
+	cfg := model.Default()
+	cfg.HostMemMB = 16
+	cfg.DPUMemMB = 8
+	m := model.NewMachine(cfg)
+	l := NewLayout(m.AllocHost(NewLayout(0, 4096, 16, 4).Size(), 4096), 4096, 16, 4)
+	InitHeader(m.HostMem, l, ModeRead)
+	if m.HostMem.Uint32(l.Base) != 4096 {
+		t.Fatal("pagesize field wrong")
+	}
+	if m.HostMem.Uint32(l.Base+4) != ModeRead {
+		t.Fatal("mode field wrong")
+	}
+	if m.HostMem.Uint32(l.Base+8) != 16 || HeaderFree(m.HostMem, l) != 16 {
+		t.Fatal("total/free fields wrong")
+	}
+	// Bucket chains are circular within each bucket.
+	for b := 0; b < 4; b++ {
+		lo, hi := l.BucketEntries(b)
+		e := ReadEntry(m.HostMem, l, hi-1)
+		if e.Next != uint32(lo) {
+			t.Fatalf("bucket %d tail next = %d, want %d", b, e.Next, lo)
+		}
+	}
+}
+
+func TestEntryEncodeDecodeRoundTrip(t *testing.T) {
+	e := Entry{Lock: LockRead, Status: StatusDirty, Next: 42, LPN: 0x1122334455, Ino: 0x99887766}
+	var b [EntrySize]byte
+	encodeEntry(b[:], e)
+	if got := DecodeEntry(b[:]); got != e {
+		t.Fatalf("round trip = %+v, want %+v", got, e)
+	}
+}
+
+func TestHostWriteThenLookup(t *testing.T) {
+	m, _, h, _, _ := newTestCache(t, 64, 8, CtlConfig{FlushEnabled: false})
+	m.Eng.Go("host", func(p *sim.Proc) {
+		if !h.WritePage(p, 7, 3, page(0xAB)) {
+			t.Error("WritePage failed")
+			return
+		}
+		got, ok := h.Lookup(p, 7, 3)
+		if !ok || !bytes.Equal(got, page(0xAB)) {
+			t.Error("Lookup after write failed")
+		}
+		if _, ok := h.Lookup(p, 7, 4); ok {
+			t.Error("Lookup of absent page hit")
+		}
+	})
+	m.Eng.Run()
+	m.Eng.Shutdown()
+	if h.Hits.Total() != 1 || h.Misses.Total() != 1 {
+		t.Fatalf("hits=%d misses=%d", h.Hits.Total(), h.Misses.Total())
+	}
+}
+
+func TestHostWriteUpdatesInPlace(t *testing.T) {
+	m, l, h, _, _ := newTestCache(t, 64, 8, CtlConfig{FlushEnabled: false})
+	m.Eng.Go("host", func(p *sim.Proc) {
+		h.WritePage(p, 1, 1, page(1))
+		free1 := HeaderFree(m.HostMem, l)
+		h.WritePage(p, 1, 1, page(2))
+		if HeaderFree(m.HostMem, l) != free1 {
+			t.Error("in-place update consumed a page")
+		}
+		got, _ := h.Lookup(p, 1, 1)
+		if !bytes.Equal(got, page(2)) {
+			t.Error("update not visible")
+		}
+	})
+	m.Eng.Run()
+	m.Eng.Shutdown()
+}
+
+func TestHostWriteBucketFull(t *testing.T) {
+	// 16 pages over 2 buckets = 8 entries per bucket; writing 9+ pages of
+	// the same bucket must fail on the 9th.
+	m, l, h, _, _ := newTestCache(t, 16, 2, CtlConfig{FlushEnabled: false})
+	m.Eng.Go("host", func(p *sim.Proc) {
+		bucketOf := func(lpn uint64) int { return l.BucketOf(1, lpn) }
+		target := bucketOf(0)
+		written := 0
+		var failedLPN uint64
+		for lpn := uint64(0); written < 9; lpn++ {
+			if bucketOf(lpn) != target {
+				continue
+			}
+			if !h.WritePage(p, 1, lpn, page(byte(lpn))) {
+				failedLPN = lpn
+				break
+			}
+			written++
+		}
+		if written != 8 {
+			t.Errorf("wrote %d pages before bucket full (want 8), failed at %d", written, failedLPN)
+		}
+	})
+	m.Eng.Run()
+	m.Eng.Shutdown()
+	if h.WriteFull.Total() != 1 {
+		t.Fatalf("WriteFull = %d", h.WriteFull.Total())
+	}
+}
+
+func TestFlushWritesBackAndMarksClean(t *testing.T) {
+	m, _, h, c, b := newTestCache(t, 64, 8, CtlConfig{FlushEnabled: false})
+	m.Eng.Go("host", func(p *sim.Proc) {
+		for lpn := uint64(0); lpn < 10; lpn++ {
+			h.WritePage(p, 5, lpn, page(byte(lpn+1)))
+		}
+	})
+	m.Eng.Run()
+	if h.DirtyCount() != 10 {
+		t.Fatalf("dirty = %d", h.DirtyCount())
+	}
+	m.Eng.Go("dpu", func(p *sim.Proc) {
+		if n := c.FlushPass(p, 100); n != 10 {
+			t.Errorf("FlushPass = %d", n)
+		}
+	})
+	m.Eng.Run()
+	m.Eng.Shutdown()
+	if h.DirtyCount() != 0 {
+		t.Fatalf("dirty after flush = %d", h.DirtyCount())
+	}
+	if b.writes != 10 {
+		t.Fatalf("backend writes = %d", b.writes)
+	}
+	for lpn := uint64(0); lpn < 10; lpn++ {
+		if !bytes.Equal(b.pages[[2]uint64{5, lpn}], page(byte(lpn+1))) {
+			t.Fatalf("backend page %d corrupted", lpn)
+		}
+	}
+}
+
+func TestFlushDaemonRunsPeriodically(t *testing.T) {
+	m, _, h, _, b := newTestCache(t, 64, 8, DefaultCtlConfig())
+	m.Eng.Go("host", func(p *sim.Proc) {
+		h.WritePage(p, 9, 0, page(0x77))
+	})
+	// Run past one flush interval.
+	m.Eng.RunUntil(sim.Time(3 * m.Cfg.Costs.FlushInterval))
+	m.Eng.Shutdown()
+	if b.writes == 0 {
+		t.Fatal("flush daemon never flushed")
+	}
+	if h.DirtyCount() != 0 {
+		t.Fatal("dirty pages remain after daemon pass")
+	}
+}
+
+func TestFillPageAndHostHit(t *testing.T) {
+	m, _, h, c, _ := newTestCache(t, 64, 8, CtlConfig{FlushEnabled: false})
+	m.Eng.Go("dpu", func(p *sim.Proc) {
+		if idx := c.FillPage(p, 3, 14, page(0x5A)); idx < 0 {
+			t.Error("FillPage failed")
+		}
+	})
+	m.Eng.Run()
+	m.Eng.Go("host", func(p *sim.Proc) {
+		got, ok := h.Lookup(p, 3, 14)
+		if !ok || !bytes.Equal(got, page(0x5A)) {
+			t.Error("host lookup of DPU-filled page failed")
+		}
+	})
+	m.Eng.Run()
+	m.Eng.Shutdown()
+}
+
+func TestFillEvictsCleanWhenFull(t *testing.T) {
+	m, l, _, c, _ := newTestCache(t, 8, 1, CtlConfig{FlushEnabled: false})
+	m.Eng.Go("dpu", func(p *sim.Proc) {
+		// Fill all 8 entries clean, then one more: eviction must occur.
+		for lpn := uint64(0); lpn < 9; lpn++ {
+			if idx := c.FillPage(p, 1, lpn, page(byte(lpn))); idx < 0 {
+				t.Errorf("FillPage %d failed", lpn)
+				return
+			}
+		}
+	})
+	m.Eng.Run()
+	m.Eng.Shutdown()
+	if c.Evictions.Total() != 1 {
+		t.Fatalf("Evictions = %d", c.Evictions.Total())
+	}
+	_ = l
+}
+
+func TestReclaimBucketFreesDirty(t *testing.T) {
+	m, _, h, c, b := newTestCache(t, 8, 1, CtlConfig{FlushEnabled: false})
+	m.Eng.Go("host", func(p *sim.Proc) {
+		for lpn := uint64(0); lpn < 8; lpn++ {
+			if !h.WritePage(p, 2, lpn, page(byte(lpn))) {
+				t.Errorf("setup write %d failed", lpn)
+			}
+		}
+		// Bucket is now full of dirty pages; a 9th write fails.
+		if h.WritePage(p, 2, 100, page(0xFF)) {
+			t.Error("write should have failed with full bucket")
+		}
+	})
+	m.Eng.Run()
+	m.Eng.Go("dpu", func(p *sim.Proc) {
+		if freed := c.ReclaimBucket(p, 2, 100, 2); freed < 1 {
+			t.Errorf("ReclaimBucket freed %d", freed)
+		}
+	})
+	m.Eng.Run()
+	m.Eng.Go("host", func(p *sim.Proc) {
+		if !h.WritePage(p, 2, 100, page(0xFF)) {
+			t.Error("write after reclaim still fails")
+		}
+	})
+	m.Eng.Run()
+	m.Eng.Shutdown()
+	if b.writes == 0 {
+		t.Fatal("reclaim did not flush dirty pages")
+	}
+}
+
+func TestPrefetchOnSequentialStream(t *testing.T) {
+	m, _, h, c, b := newTestCache(t, 256, 16, CtlConfig{FlushEnabled: false, PrefetchEnabled: true, PrefetchDepth: 8})
+	// Backend holds a 64-page file.
+	for lpn := uint64(0); lpn < 64; lpn++ {
+		b.pages[[2]uint64{4, lpn}] = page(byte(lpn))
+	}
+	m.Eng.Go("dpu", func(p *sim.Proc) {
+		// Simulate the miss path: three sequential reads trigger prefetch.
+		for lpn := uint64(0); lpn < 3; lpn++ {
+			c.NotifyRead(p, 4, lpn)
+		}
+	})
+	m.Eng.Run()
+	m.Eng.Shutdown()
+	if c.Prefetches.Total() == 0 {
+		t.Fatal("no prefetches issued")
+	}
+	// Prefetched pages must now be host-cache hits.
+	m2 := m
+	m2.Eng.Go("host", func(p *sim.Proc) {
+		got, ok := h.Lookup(p, 4, 3)
+		if !ok || !bytes.Equal(got, page(3)) {
+			t.Error("prefetched page not in host cache")
+		}
+	})
+	m2.Eng.Run()
+	m2.Eng.Shutdown()
+}
+
+func TestNoPrefetchOnRandomReads(t *testing.T) {
+	m, _, _, c, b := newTestCache(t, 64, 8, CtlConfig{FlushEnabled: false, PrefetchEnabled: true, PrefetchDepth: 8})
+	for lpn := uint64(0); lpn < 64; lpn++ {
+		b.pages[[2]uint64{4, lpn}] = page(byte(lpn))
+	}
+	m.Eng.Go("dpu", func(p *sim.Proc) {
+		for _, lpn := range []uint64{5, 60, 2, 33, 18, 9} {
+			c.NotifyRead(p, 4, lpn)
+		}
+	})
+	m.Eng.Run()
+	m.Eng.Shutdown()
+	if c.Prefetches.Total() != 0 {
+		t.Fatalf("prefetched %d pages on a random stream", c.Prefetches.Total())
+	}
+}
+
+// Consistency under concurrency: host writers and the DPU flusher race on
+// the same pages; no update may be lost and the backend must converge to
+// the last written values after a final flush.
+func TestFlushWriterConsistency(t *testing.T) {
+	m, _, h, c, b := newTestCache(t, 128, 8, DefaultCtlConfig())
+	const pages = 16
+	const rounds = 20
+	last := map[uint64]byte{}
+	for w := 0; w < 4; w++ {
+		w := w
+		m.Eng.Go(fmt.Sprintf("writer%d", w), func(p *sim.Proc) {
+			for r := 0; r < rounds; r++ {
+				lpn := uint64((w*7 + r) % pages)
+				seed := byte(w*rounds + r + 1)
+				if h.WritePage(p, 1, lpn, page(seed)) {
+					last[lpn] = seed
+				}
+				p.Sleep(time.Duration(50+w*13) * time.Microsecond)
+			}
+		})
+	}
+	m.Eng.RunUntil(sim.Time(50 * time.Millisecond))
+	// Final flush to drain (stop the daemon so Run terminates).
+	c.Stop()
+	m.Eng.Go("final-flush", func(p *sim.Proc) { c.FlushPass(p, 1000) })
+	m.Eng.Run()
+	m.Eng.Shutdown()
+	if h.DirtyCount() != 0 {
+		t.Fatalf("dirty pages remain: %d", h.DirtyCount())
+	}
+	for lpn, seed := range last {
+		got := b.pages[[2]uint64{1, lpn}]
+		if !bytes.Equal(got, page(seed)) {
+			t.Fatalf("page %d: backend has %d, want %d", lpn, got[0], seed)
+		}
+	}
+}
+
+func TestSecondChanceSparesHotEntry(t *testing.T) {
+	// One bucket of 8 entries, all clean. Entry for (1,0) is "hot" (host
+	// hit sets its reference bit); under second-chance the first eviction
+	// must pick a cold entry instead.
+	m, _, h, c, _ := newTestCache(t, 8, 1, CtlConfig{FlushEnabled: false, Policy: PolicySecondChance})
+	m.Eng.Go("fill", func(p *sim.Proc) {
+		for lpn := uint64(0); lpn < 8; lpn++ {
+			if c.FillPage(p, 1, lpn, page(byte(lpn))) < 0 {
+				t.Errorf("fill %d failed", lpn)
+			}
+		}
+		// Touch (1,0): sets its ref bit.
+		if _, ok := h.Lookup(p, 1, 0); !ok {
+			t.Error("hot lookup missed")
+		}
+		// Insert one more page: eviction must spare (1,0).
+		if c.FillPage(p, 1, 100, page(0xFF)) < 0 {
+			t.Error("fill after eviction failed")
+		}
+		if _, ok := h.Lookup(p, 1, 0); !ok {
+			t.Error("hot entry was evicted despite its reference bit")
+		}
+	})
+	m.Eng.Run()
+	m.Eng.Shutdown()
+	if c.Evictions.Total() != 1 {
+		t.Fatalf("Evictions = %d", c.Evictions.Total())
+	}
+}
+
+func TestFIFOIgnoresReferenceBit(t *testing.T) {
+	m, _, h, c, _ := newTestCache(t, 8, 1, CtlConfig{FlushEnabled: false, Policy: PolicyFIFO})
+	m.Eng.Go("fill", func(p *sim.Proc) {
+		for lpn := uint64(0); lpn < 8; lpn++ {
+			c.FillPage(p, 1, lpn, page(byte(lpn)))
+		}
+		h.Lookup(p, 1, 0) // sets ref bit, but FIFO does not care
+		c.FillPage(p, 1, 100, page(0xFF))
+		// The clock hand started at 0: (1,0) is evicted even though hot.
+		if _, ok := h.Lookup(p, 1, 0); ok {
+			t.Error("FIFO unexpectedly spared the referenced entry")
+		}
+	})
+	m.Eng.Run()
+	m.Eng.Shutdown()
+}
+
+func TestEntryRefRoundTrip(t *testing.T) {
+	e := Entry{Lock: LockNone, Status: StatusClean, Next: 3, LPN: 9, Ino: 4, Ref: 1}
+	var b [EntrySize]byte
+	encodeEntry(b[:], e)
+	if got := DecodeEntry(b[:]); got != e {
+		t.Fatalf("round trip = %+v, want %+v", got, e)
+	}
+}

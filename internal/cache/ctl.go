@@ -1,0 +1,546 @@
+package cache
+
+import (
+	"fmt"
+
+	"dpc/internal/model"
+	"dpc/internal/sim"
+	"dpc/internal/stats"
+)
+
+// Backend is where flushed pages go and where prefetched pages come from:
+// on the DPU this is KVFS or the DFS client stack.
+type Backend interface {
+	// ReadPage fetches one page; ok=false when the page does not exist.
+	ReadPage(p *sim.Proc, ino, lpn uint64, pageSize int) ([]byte, bool)
+	// WritePage persists one page.
+	WritePage(p *sim.Proc, ino, lpn uint64, data []byte)
+}
+
+// RangeBackend is implemented by backends that can fetch a run of pages in
+// one operation; the prefetcher uses it to amortize per-request costs over
+// the whole window.
+type RangeBackend interface {
+	// ReadPageRange returns up to n pages starting at lpn; short or nil
+	// results mean EOF.
+	ReadPageRange(p *sim.Proc, ino, lpn uint64, n, pageSize int) [][]byte
+}
+
+// Policy selects the clean-page replacement policy.
+type Policy int
+
+const (
+	// PolicySecondChance is CLOCK with reference bits: recently hit pages
+	// get a second pass before eviction.
+	PolicySecondChance Policy = iota
+	// PolicyFIFO evicts in clock-hand order regardless of recency.
+	PolicyFIFO
+)
+
+// CtlConfig tunes the control plane.
+type CtlConfig struct {
+	FlushBatch      int // max dirty pages flushed per daemon pass
+	Policy          Policy
+	PrefetchEnabled bool
+	PrefetchDepth   int // pages fetched ahead once a stream is detected
+	// AdaptivePrefetch doubles a stream's window on each subsequent miss
+	// (up to MaxPrefetchDepth); disable to hold the window at
+	// PrefetchDepth (used by the prefetch-depth ablation).
+	AdaptivePrefetch bool
+	FlushEnabled     bool
+}
+
+// DefaultCtlConfig returns the experiments' defaults.
+func DefaultCtlConfig() CtlConfig {
+	return CtlConfig{FlushBatch: 256, PrefetchEnabled: true, PrefetchDepth: 16, AdaptivePrefetch: true, FlushEnabled: true}
+}
+
+type stream struct {
+	lastLPN uint64
+	streak  int
+	// depth is the adaptive prefetch window: it doubles every time the
+	// stream outruns the prefetched pages (i.e. on every subsequent miss),
+	// up to MaxPrefetchDepth. Deep windows are what produce the paper's
+	// ~100x single-thread sequential-read boost.
+	depth int
+}
+
+// MaxPrefetchDepth bounds the adaptive window.
+const MaxPrefetchDepth = 256
+
+// Ctl is the DPU-resident cache control plane. Every access to the meta
+// area goes over PCIe (DMA reads of bucket chunks, atomics on lock words),
+// and page movement between host cache and DPU is explicit DMA.
+type Ctl struct {
+	m       *model.Machine
+	L       Layout
+	cfg     CtlConfig
+	backend Backend
+
+	hands    []int // per-bucket clock hands for replacement
+	streams  map[uint64][]*stream
+	inflight map[[2]uint64]bool // prefetches in flight
+
+	stopped bool
+
+	Flushes    stats.Counter
+	Evictions  stats.Counter
+	Prefetches stats.Counter
+	Fills      stats.Counter
+}
+
+// Stop makes the flush daemon exit after its current sleep, letting
+// Engine.Run drain. (Without it the daemon's periodic wakeups keep the
+// event heap non-empty forever.)
+func (c *Ctl) Stop() { c.stopped = true }
+
+// NewCtl creates the control plane and starts the flush daemon.
+func NewCtl(m *model.Machine, l Layout, backend Backend, cfg CtlConfig) *Ctl {
+	c := &Ctl{
+		m:        m,
+		L:        l,
+		cfg:      cfg,
+		backend:  backend,
+		hands:    make([]int, l.Buckets),
+		streams:  map[uint64][]*stream{},
+		inflight: map[[2]uint64]bool{},
+	}
+	if cfg.FlushEnabled {
+		m.Eng.Go("cache-flushd", c.flushDaemon)
+	}
+	return c
+}
+
+// readBucket DMA-reads one bucket's meta chunk (a single DMA).
+func (c *Ctl) readBucket(p *sim.Proc, bucket int) []Entry {
+	lo, hi := c.L.BucketEntries(bucket)
+	raw := c.m.PCIe.DMARead(p, c.m.HostMem, c.L.EntryAddr(lo), (hi-lo)*EntrySize, "cache-meta")
+	out := make([]Entry, hi-lo)
+	for i := range out {
+		out[i] = DecodeEntry(raw[i*EntrySize : (i+1)*EntrySize])
+	}
+	return out
+}
+
+// lock acquires an entry's lock word with a PCIe CAS, retrying while the
+// host holds it. Returns false if the entry cannot be locked quickly.
+func (c *Ctl) lock(p *sim.Proc, i int, kind uint32) bool {
+	a := c.L.EntryAddr(i) + offLock
+	for attempt := 0; attempt < 8; attempt++ {
+		if c.m.PCIe.AtomicCAS32(p, c.m.HostMem, a, LockNone, kind, "cache-lock") {
+			return true
+		}
+	}
+	return false
+}
+
+// unlock releases an entry lock with a PCIe atomic store.
+func (c *Ctl) unlock(p *sim.Proc, i int) {
+	c.m.PCIe.AtomicStore32(p, c.m.HostMem, c.L.EntryAddr(i)+offLock, LockNone, "cache-unlock")
+}
+
+// setStatus updates an entry's status field from the DPU.
+func (c *Ctl) setStatus(p *sim.Proc, i int, s uint32) {
+	c.m.PCIe.AtomicStore32(p, c.m.HostMem, c.L.EntryAddr(i)+offStatus, s, "cache-status")
+}
+
+// readEntryRemote DMA-reads one meta entry (the DPU cannot touch host
+// memory for free).
+func (c *Ctl) readEntryRemote(p *sim.Proc, i int) Entry {
+	raw := c.m.PCIe.DMARead(p, c.m.HostMem, c.L.EntryAddr(i), EntrySize, "cache-meta-r")
+	return DecodeEntry(raw)
+}
+
+// flushDaemon periodically scans the meta area and writes dirty pages back
+// to the backend (§3.3 "cache flushing").
+func (c *Ctl) flushDaemon(p *sim.Proc) {
+	for !c.stopped {
+		p.Sleep(c.m.Cfg.Costs.FlushInterval)
+		if c.stopped {
+			return
+		}
+		c.FlushPass(p, c.cfg.FlushBatch)
+	}
+}
+
+// FlushPass scans the whole meta area (chunked DMA reads), collects dirty
+// entries and flushes up to maxPages of them with a pool of parallel worker
+// processes (a serial flusher could never keep up with write-back load).
+// It returns the number flushed.
+func (c *Ctl) FlushPass(p *sim.Proc, maxPages int) int {
+	var dirty []int
+	const chunkEntries = 128
+	for base := 0; base < c.L.Total && len(dirty) < maxPages; base += chunkEntries {
+		n := chunkEntries
+		if base+n > c.L.Total {
+			n = c.L.Total - base
+		}
+		raw := c.m.PCIe.DMARead(p, c.m.HostMem, c.L.EntryAddr(base), n*EntrySize, "cache-scan")
+		for k := 0; k < n && len(dirty) < maxPages; k++ {
+			e := DecodeEntry(raw[k*EntrySize : (k+1)*EntrySize])
+			if e.Status == StatusDirty {
+				dirty = append(dirty, base+k)
+			}
+		}
+	}
+	if len(dirty) == 0 {
+		return 0
+	}
+	workers := 32
+	if workers > len(dirty) {
+		workers = len(dirty)
+	}
+	flushed := 0
+	next := 0
+	remaining := workers
+	done := sim.NewCond(c.m.Eng, "flush-join")
+	for w := 0; w < workers; w++ {
+		c.m.Eng.Go("cache-flush-w", func(pp *sim.Proc) {
+			for {
+				if next >= len(dirty) {
+					break
+				}
+				i := dirty[next]
+				next++
+				if c.flushOne(pp, i) {
+					flushed++
+				}
+			}
+			remaining--
+			if remaining == 0 {
+				done.Broadcast()
+			}
+		})
+	}
+	for remaining > 0 {
+		done.Wait(p)
+	}
+	return flushed
+}
+
+// FlushIno flushes every dirty page belonging to one inode (fsync):
+// a full meta scan selecting only that inode's entries, then a parallel
+// flush. Returns the number flushed.
+func (c *Ctl) FlushIno(p *sim.Proc, ino uint64) int {
+	flushed := 0
+	const chunkEntries = 128
+	for base := 0; base < c.L.Total; base += chunkEntries {
+		n := chunkEntries
+		if base+n > c.L.Total {
+			n = c.L.Total - base
+		}
+		raw := c.m.PCIe.DMARead(p, c.m.HostMem, c.L.EntryAddr(base), n*EntrySize, "cache-scan")
+		for k := 0; k < n; k++ {
+			e := DecodeEntry(raw[k*EntrySize : (k+1)*EntrySize])
+			if e.Status == StatusDirty && e.Ino == ino {
+				if c.flushOne(p, base+k) {
+					flushed++
+				}
+			}
+		}
+	}
+	return flushed
+}
+
+// flushOne safely flushes entry i: read-lock, pull the page to DPU DRAM,
+// process, write to the backend, mark clean, unlock.
+func (c *Ctl) flushOne(p *sim.Proc, i int) bool {
+	if !c.lock(p, i, LockRead) {
+		return false
+	}
+	e := c.readEntryRemote(p, i) // state may have changed before lock
+	if e.Status != StatusDirty {
+		c.unlock(p, i)
+		return false
+	}
+	// Pull the page into DPU DRAM by DMA.
+	data := c.m.PCIe.DMARead(p, c.m.HostMem, c.L.PageAddr(i), c.L.PageSize, "cache-pull")
+	// Relevant computing (compression, DIF, EC...) happens here on the DPU.
+	c.m.DPUExec(p, c.m.Cfg.Costs.DPUFlushPage)
+	c.backend.WritePage(p, e.Ino, e.LPN, data)
+	c.setStatus(p, i, StatusClean)
+	c.unlock(p, i)
+	c.Flushes.Inc()
+	return true
+}
+
+// FillPage inserts a page into the host cache from the DPU side (read-miss
+// fill or prefetch): it claims a free or evictable entry in the page's
+// bucket, DMA-writes the data into the corresponding host page, and marks
+// the entry clean. Returns the entry index, or -1 if the bucket is
+// unreclaimable right now.
+func (c *Ctl) FillPage(p *sim.Proc, ino, lpn uint64, data []byte) int {
+	if len(data) != c.L.PageSize {
+		panic(fmt.Sprintf("cache: fill size %d != page size %d", len(data), c.L.PageSize))
+	}
+	c.m.DPUExec(p, c.m.Cfg.Costs.DPUCacheCtl)
+	bucket := c.L.BucketOf(ino, lpn)
+	lo, _ := c.L.BucketEntries(bucket)
+	entries := c.readBucket(p, bucket)
+
+	// Already present? Refresh it (write lock, overwrite, clean).
+	for k, e := range entries {
+		if e.Status != StatusFree && e.Ino == ino && e.LPN == lpn {
+			i := lo + k
+			if !c.lock(p, i, LockWrite) {
+				return -1
+			}
+			c.m.PCIe.DMAWrite(p, c.m.HostMem, c.L.PageAddr(i), data, "cache-fill")
+			c.setStatus(p, i, StatusClean)
+			c.unlock(p, i)
+			c.Fills.Inc()
+			return i
+		}
+	}
+
+	// Free entry?
+	target := -1
+	for k, e := range entries {
+		if e.Status == StatusFree {
+			target = lo + k
+			break
+		}
+	}
+	if target < 0 {
+		// Evict a clean entry chosen by the bucket's clock hand.
+		target = c.evictClean(p, bucket, entries)
+		if target < 0 {
+			return -1
+		}
+	}
+	if !c.lock(p, target, LockWrite) {
+		return -1
+	}
+	cur := c.readEntryRemote(p, target)
+	if cur.Status == StatusFree {
+		c.m.PCIe.AtomicFetchAdd32(p, c.m.HostMem, c.L.Base+12, ^uint32(0), "cache-free-dec")
+	}
+	c.m.PCIe.DMAWrite(p, c.m.HostMem, c.L.PageAddr(target), data, "cache-fill")
+	// Publish the new identity with one entry-sized DMA write. The next
+	// pointer is immutable after format, so the stale read is safe.
+	var eb [EntrySize]byte
+	e := Entry{Lock: LockWrite, Status: StatusClean, Next: cur.Next, LPN: lpn, Ino: ino}
+	encodeEntry(eb[:], e)
+	c.m.PCIe.DMAWrite(p, c.m.HostMem, c.L.EntryAddr(target), eb[:], "cache-meta-w")
+	c.unlock(p, target)
+	c.Fills.Inc()
+	return target
+}
+
+// evictClean picks a clean, unlocked entry in the bucket via the clock hand
+// and frees it. Under PolicySecondChance, entries with the reference bit
+// set are spared once (the bit is cleared remotely) — CLOCK's second
+// chance. Returns the freed index or -1.
+func (c *Ctl) evictClean(p *sim.Proc, bucket int, entries []Entry) int {
+	lo, hi := c.L.BucketEntries(bucket)
+	n := hi - lo
+	limit := n
+	if c.cfg.Policy == PolicySecondChance {
+		limit = 2 * n // one extra lap to consume reference bits
+	}
+	for scanned := 0; scanned < limit; scanned++ {
+		k := c.hands[bucket]
+		c.hands[bucket] = (k + 1) % n
+		if entries[k].Status != StatusClean {
+			continue
+		}
+		if c.cfg.Policy == PolicySecondChance && entries[k].Ref != 0 {
+			// Spare it once: clear the bit (a PCIe atomic on the entry's
+			// aligned last word, which holds only the ref byte + padding).
+			entries[k].Ref = 0
+			c.m.PCIe.AtomicStore32(p, c.m.HostMem,
+				c.L.EntryAddr(lo+k)+offRef, 0, "cache-ref-clr")
+			continue
+		}
+		i := lo + k
+		if !c.lock(p, i, LockWrite) {
+			continue
+		}
+		if c.readEntryRemote(p, i).Status != StatusClean {
+			c.unlock(p, i)
+			continue
+		}
+		c.setStatus(p, i, StatusFree)
+		c.m.PCIe.AtomicFetchAdd32(p, c.m.HostMem, c.L.Base+12, 1, "cache-free-inc")
+		c.unlock(p, i)
+		c.Evictions.Inc()
+		return i
+	}
+	return -1
+}
+
+// ReclaimBucket handles a host CacheEvict request: make room in the bucket
+// that failed, flushing dirty entries if nothing clean is available.
+// Returns the number of entries freed.
+func (c *Ctl) ReclaimBucket(p *sim.Proc, ino, lpn uint64, want int) int {
+	c.m.DPUExec(p, c.m.Cfg.Costs.DPUCacheCtl)
+	bucket := c.L.BucketOf(ino, lpn)
+	lo, _ := c.L.BucketEntries(bucket)
+	freed := 0
+	entries := c.readBucket(p, bucket)
+	// First pass: evict clean pages.
+	for freed < want {
+		if i := c.evictClean(p, bucket, entries); i < 0 {
+			break
+		}
+		freed++
+		entries = c.readBucket(p, bucket)
+	}
+	// Second pass: flush dirty pages, then free them.
+	for k, e := range entries {
+		if freed >= want {
+			break
+		}
+		if e.Status != StatusDirty {
+			continue
+		}
+		i := lo + k
+		if !c.flushOne(p, i) {
+			continue
+		}
+		if !c.lock(p, i, LockWrite) {
+			continue
+		}
+		if c.readEntryRemote(p, i).Status == StatusClean {
+			c.setStatus(p, i, StatusFree)
+			c.m.PCIe.AtomicFetchAdd32(p, c.m.HostMem, c.L.Base+12, 1, "cache-free-inc")
+			freed++
+			c.Evictions.Inc()
+		}
+		c.unlock(p, i)
+	}
+	return freed
+}
+
+// maxStreamsPerIno bounds concurrent per-file stream trackers (analogous to
+// per-fd readahead state: many threads may scan one file at different
+// offsets).
+const maxStreamsPerIno = 64
+
+// NotifyRead feeds the sequential-stream detector; on a detected stream it
+// prefetches the following pages into the host cache in the background.
+func (c *Ctl) NotifyRead(p *sim.Proc, ino, lpn uint64) {
+	if !c.cfg.PrefetchEnabled {
+		return
+	}
+	// Find the stream this miss extends. Until a stream is established the
+	// next page must be exactly adjacent; afterwards the detector only
+	// sees misses, which jump forward by up to the prefetched window.
+	var s *stream
+	for _, cand := range c.streams[ino] {
+		gap := lpn - cand.lastLPN
+		window := uint64(1)
+		if cand.streak >= 2 && cand.depth > 0 {
+			// After prefetching `depth` pages past the last miss, the next
+			// miss lands depth+1 ahead.
+			window = uint64(cand.depth) + 2
+		}
+		if lpn > cand.lastLPN && gap <= window {
+			s = cand
+			break
+		}
+	}
+	if s == nil {
+		s = &stream{lastLPN: lpn}
+		ss := append(c.streams[ino], s)
+		if len(ss) > maxStreamsPerIno {
+			ss = ss[1:]
+		}
+		c.streams[ino] = ss
+		return
+	}
+	s.streak++
+	s.lastLPN = lpn
+	if s.streak < 2 {
+		return
+	}
+	if s.depth == 0 {
+		s.depth = c.cfg.PrefetchDepth
+	} else if c.cfg.AdaptivePrefetch && s.depth < MaxPrefetchDepth {
+		s.depth *= 2
+		if s.depth > MaxPrefetchDepth {
+			s.depth = MaxPrefetchDepth
+		}
+	}
+	// Bound aggregate readahead to a quarter of the cache so concurrent
+	// streams do not evict each other's prefetched pages before use.
+	if budget := c.L.Total / 4 / len(c.streams[ino]); s.depth > budget {
+		s.depth = budget
+		if s.depth < 1 {
+			s.depth = 1
+		}
+	}
+	depth := s.depth
+	start := lpn + 1
+	var toFetch []uint64
+	for k := 0; k < depth; k++ {
+		key := [2]uint64{ino, start + uint64(k)}
+		if !c.inflight[key] {
+			c.inflight[key] = true
+			toFetch = append(toFetch, start+uint64(k))
+		}
+	}
+	if len(toFetch) == 0 {
+		return
+	}
+	// Fetch the window in the background. Backends with a range read serve
+	// the whole contiguous window in one operation; otherwise pages fetch
+	// in parallel so the prefetcher stays ahead of the reader.
+	if rb, ok := c.backend.(RangeBackend); ok {
+		first, n := toFetch[0], len(toFetch)
+		contiguous := true
+		for i, l := range toFetch {
+			if l != first+uint64(i) {
+				contiguous = false
+				break
+			}
+		}
+		if contiguous {
+			c.m.Eng.Go("cache-prefetch", func(pp *sim.Proc) {
+				pages := rb.ReadPageRange(pp, ino, first, n, c.L.PageSize)
+				for i, pg := range pages {
+					if pg != nil {
+						c.FillPage(pp, ino, first+uint64(i), pg)
+						c.Prefetches.Inc()
+					}
+				}
+				for _, l := range toFetch {
+					delete(c.inflight, [2]uint64{ino, l})
+				}
+			})
+			return
+		}
+	}
+	for _, l := range toFetch {
+		l := l
+		c.m.Eng.Go("cache-prefetch", func(pp *sim.Proc) {
+			data, ok := c.backend.ReadPage(pp, ino, l, c.L.PageSize)
+			if ok {
+				c.FillPage(pp, ino, l, data)
+				c.Prefetches.Inc()
+			}
+			delete(c.inflight, [2]uint64{ino, l})
+		})
+	}
+}
+
+// encodeEntry serializes an entry into a 32-byte buffer.
+func encodeEntry(b []byte, e Entry) {
+	put32 := func(off int, v uint32) {
+		b[off] = byte(v)
+		b[off+1] = byte(v >> 8)
+		b[off+2] = byte(v >> 16)
+		b[off+3] = byte(v >> 24)
+	}
+	put64 := func(off int, v uint64) {
+		for i := 0; i < 8; i++ {
+			b[off+i] = byte(v >> (8 * i))
+		}
+	}
+	put32(offLock, e.Lock)
+	put32(offStatus, e.Status)
+	put32(offNext, e.Next)
+	put64(offLPN, e.LPN)
+	put64(offIno, e.Ino)
+	b[offRef] = e.Ref
+}

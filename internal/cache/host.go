@@ -1,0 +1,165 @@
+package cache
+
+import (
+	"time"
+
+	"dpc/internal/model"
+	"dpc/internal/sim"
+	"dpc/internal/stats"
+)
+
+// Host is the host-side (fs-adapter) view of the cache data plane. All of
+// its memory accesses are host-local: a cache hit never touches PCIe, which
+// is the point of the hybrid design. Lock words are manipulated with host
+// atomics; the DPU side uses PCIe atomics on the same words.
+type Host struct {
+	m *model.Machine
+	L Layout
+
+	Hits      stats.Counter
+	Misses    stats.Counter
+	CachedWr  stats.Counter
+	WriteFull stats.Counter
+}
+
+// NewHost wraps an initialized layout.
+func NewHost(m *model.Machine, l Layout) *Host {
+	return &Host{m: m, L: l}
+}
+
+// findEntry scans a bucket's chain for <ino, lpn>, returning the entry index
+// or -1. Host-local memory walk.
+func (h *Host) findEntry(ino, lpn uint64) int {
+	lo, hi := h.L.BucketEntries(h.L.BucketOf(ino, lpn))
+	for i := lo; i < hi; i++ {
+		e := ReadEntry(h.m.HostMem, h.L, i)
+		if e.Status != StatusFree && e.Status != StatusInvalid && e.Ino == ino && e.LPN == lpn {
+			return i
+		}
+	}
+	return -1
+}
+
+// Lookup returns a copy of the cached page for <ino, lpn>. A page that is
+// momentarily locked by the DPU control plane counts as a miss rather than
+// blocking the host.
+func (h *Host) Lookup(p *sim.Proc, ino, lpn uint64) ([]byte, bool) {
+	h.m.HostExec(p, h.m.Cfg.Costs.HostCacheLookup)
+	i := h.findEntry(ino, lpn)
+	if i < 0 {
+		h.Misses.Inc()
+		return nil, false
+	}
+	a := h.L.EntryAddr(i)
+	if !h.m.HostMem.CompareAndSwap32(a+offLock, LockNone, LockRead) {
+		h.Misses.Inc()
+		return nil, false
+	}
+	// Re-check under the lock: the entry may have been replaced.
+	e := ReadEntry(h.m.HostMem, h.L, i)
+	if (e.Status != StatusClean && e.Status != StatusDirty) || e.Ino != ino || e.LPN != lpn {
+		h.m.HostMem.PutUint32(a+offLock, LockNone)
+		h.Misses.Inc()
+		return nil, false
+	}
+	data := h.m.HostMem.Read(h.L.PageAddr(i), h.L.PageSize)
+	h.m.HostExec(p, h.m.Cfg.Costs.HostCopyPerPage*int64((h.L.PageSize+4095)/4096))
+	// Mark the CLOCK reference bit: second-chance eviction spares recently
+	// hit pages.
+	h.m.HostMem.Slice(a+offRef, 1)[0] = 1
+	h.m.HostMem.PutUint32(a+offLock, LockNone)
+	h.Hits.Inc()
+	return data, true
+}
+
+// WritePage caches a full page write for <ino, lpn>, marking it dirty. It
+// returns false when the bucket has no free entry (the caller must ask the
+// DPU control plane to reclaim space and retry). The front-end write
+// protocol follows §3.3: find entry, lock atomically, compute the page
+// address from the entry position, write, release and set dirty.
+func (h *Host) WritePage(p *sim.Proc, ino, lpn uint64, data []byte) bool {
+	if len(data) != h.L.PageSize {
+		panic("cache: WritePage requires a full page")
+	}
+	h.m.HostExec(p, h.m.Cfg.Costs.HostCacheLookup)
+
+	// Update in place if the page is already cached.
+	for attempt := 0; attempt < 64; attempt++ {
+		i := h.findEntry(ino, lpn)
+		if i < 0 {
+			break
+		}
+		a := h.L.EntryAddr(i)
+		if !h.m.HostMem.CompareAndSwap32(a+offLock, LockNone, LockWrite) {
+			// Locked by the flusher: wait for it to release rather than
+			// duplicating the page elsewhere.
+			p.Sleep(500 * time.Nanosecond)
+			continue
+		}
+		e := ReadEntry(h.m.HostMem, h.L, i)
+		if (e.Status != StatusClean && e.Status != StatusDirty) || e.Ino != ino || e.LPN != lpn {
+			h.m.HostMem.PutUint32(a+offLock, LockNone)
+			continue // replaced under us; take the insert path
+		}
+		h.m.HostMem.Write(h.L.PageAddr(i), data)
+		h.m.HostExec(p, h.m.Cfg.Costs.HostCopyPerPage*int64((h.L.PageSize+4095)/4096))
+		h.m.HostMem.PutUint32(a+offStatus, StatusDirty)
+		h.m.HostMem.PutUint32(a+offLock, LockNone)
+		h.CachedWr.Inc()
+		return true
+	}
+
+	// Insert into a free entry of the bucket.
+	lo, hi := h.L.BucketEntries(h.L.BucketOf(ino, lpn))
+	for i := lo; i < hi; i++ {
+		a := h.L.EntryAddr(i)
+		if h.m.HostMem.Uint32(a+offStatus) != StatusFree {
+			continue
+		}
+		if !h.m.HostMem.CompareAndSwap32(a+offLock, LockNone, LockWrite) {
+			continue
+		}
+		if h.m.HostMem.Uint32(a+offStatus) != StatusFree {
+			h.m.HostMem.PutUint32(a+offLock, LockNone)
+			continue
+		}
+		h.m.HostMem.Write(h.L.PageAddr(i), data)
+		h.m.HostExec(p, h.m.Cfg.Costs.HostCopyPerPage*int64((h.L.PageSize+4095)/4096))
+		h.m.HostMem.PutUint64(a+offLPN, lpn)
+		h.m.HostMem.PutUint64(a+offIno, ino)
+		h.m.HostMem.PutUint32(a+offStatus, StatusDirty)
+		h.m.HostMem.PutUint32(a+offLock, LockNone)
+		AddHeaderFree(h.m.HostMem, h.L, -1)
+		h.CachedWr.Inc()
+		return true
+	}
+	h.WriteFull.Inc()
+	return false
+}
+
+// Invalidate drops a cached page (e.g. after truncate); best effort.
+func (h *Host) Invalidate(p *sim.Proc, ino, lpn uint64) {
+	h.m.HostExec(p, h.m.Cfg.Costs.HostCacheLookup)
+	i := h.findEntry(ino, lpn)
+	if i < 0 {
+		return
+	}
+	a := h.L.EntryAddr(i)
+	if !h.m.HostMem.CompareAndSwap32(a+offLock, LockNone, LockWrite) {
+		return
+	}
+	h.m.HostMem.PutUint32(a+offStatus, StatusFree)
+	h.m.HostMem.PutUint32(a+offLock, LockNone)
+	AddHeaderFree(h.m.HostMem, h.L, 1)
+}
+
+// DirtyCount scans the meta area and reports dirty pages (test helper).
+func (h *Host) DirtyCount() int {
+	n := 0
+	for i := 0; i < h.L.Total; i++ {
+		if ReadEntry(h.m.HostMem, h.L, i).Status == StatusDirty {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,212 @@
+// Package cache implements the paper's hybrid file data cache (§3.3): the
+// cache data plane (header, meta hash table, page data) lives in host
+// memory, while the control plane (replacement, flushing, prefetching) runs
+// on the DPU and manipulates the meta area through PCIe DMA and atomics.
+//
+// The memory layout is byte-exact per Figure 5:
+//
+//	header : pagesize u32 | mode u32 | total u32 | free u32 (+ pad to 32)
+//	meta   : total entries of 32 bytes:
+//	         lock u32 | status u32 | next u32 | lpn u64 | ino u64 | pad
+//	data   : total pages of pagesize bytes
+//
+// Lock values: 0 = unlocked, 1 = write lock, 2 = read lock, 3 = invalid.
+// Status values: 0 = free, 1 = clean, 2 = dirty, 3 = invalid.
+package cache
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"dpc/internal/mem"
+)
+
+// Header and entry geometry.
+const (
+	HeaderSize = 32
+	EntrySize  = 32
+)
+
+// Lock word values (paper §3.3).
+const (
+	LockNone    uint32 = 0
+	LockWrite   uint32 = 1
+	LockRead    uint32 = 2
+	LockInvalid uint32 = 3
+)
+
+// Status values (paper §3.3).
+const (
+	StatusFree    uint32 = 0
+	StatusClean   uint32 = 1
+	StatusDirty   uint32 = 2
+	StatusInvalid uint32 = 3
+)
+
+// Cache modes.
+const (
+	ModeRead  uint32 = 0
+	ModeWrite uint32 = 1
+)
+
+// Layout describes one cache space in host memory.
+type Layout struct {
+	Base     mem.Addr
+	PageSize int
+	Total    int // page count
+	Buckets  int // hash buckets; Total must be a multiple of Buckets
+}
+
+// NewLayout validates and returns a layout.
+func NewLayout(base mem.Addr, pageSize, total, buckets int) Layout {
+	if pageSize <= 0 || total <= 0 || buckets <= 0 || total%buckets != 0 {
+		panic(fmt.Sprintf("cache: bad layout page=%d total=%d buckets=%d", pageSize, total, buckets))
+	}
+	return Layout{Base: base, PageSize: pageSize, Total: total, Buckets: buckets}
+}
+
+// Size returns the layout's total footprint in bytes.
+func (l Layout) Size() int {
+	return HeaderSize + l.Total*EntrySize + l.Total*l.PageSize
+}
+
+// EntriesPerBucket returns the chain length of each bucket.
+func (l Layout) EntriesPerBucket() int { return l.Total / l.Buckets }
+
+// MetaBase returns the address of entry 0.
+func (l Layout) MetaBase() mem.Addr { return l.Base + HeaderSize }
+
+// EntryAddr returns the address of meta entry i.
+func (l Layout) EntryAddr(i int) mem.Addr {
+	if i < 0 || i >= l.Total {
+		panic(fmt.Sprintf("cache: entry %d of %d", i, l.Total))
+	}
+	return l.MetaBase() + mem.Addr(i*EntrySize)
+}
+
+// DataBase returns the address of page 0.
+func (l Layout) DataBase() mem.Addr { return l.MetaBase() + mem.Addr(l.Total*EntrySize) }
+
+// PageAddr returns the address of cache page i. Entry i and page i
+// correspond one to one: locating the entry locates the page.
+func (l Layout) PageAddr(i int) mem.Addr {
+	if i < 0 || i >= l.Total {
+		panic(fmt.Sprintf("cache: page %d of %d", i, l.Total))
+	}
+	return l.DataBase() + mem.Addr(i*l.PageSize)
+}
+
+// BucketOf hashes <ino, lpn> to a bucket index.
+func (l Layout) BucketOf(ino, lpn uint64) int {
+	h := fnv.New64a()
+	var b [16]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(ino >> (8 * i))
+		b[8+i] = byte(lpn >> (8 * i))
+	}
+	h.Write(b[:])
+	return int(h.Sum64() % uint64(l.Buckets))
+}
+
+// BucketEntries returns the entry indices belonging to bucket b.
+func (l Layout) BucketEntries(b int) (lo, hi int) {
+	e := l.EntriesPerBucket()
+	return b * e, (b + 1) * e
+}
+
+// Entry is a decoded meta entry.
+type Entry struct {
+	Lock   uint32
+	Status uint32
+	Next   uint32
+	LPN    uint64
+	Ino    uint64
+	// Ref is the CLOCK reference bit: the host data plane sets it on every
+	// hit (a free local write); the DPU control plane clears it during
+	// second-chance eviction sweeps.
+	Ref uint8
+}
+
+// Field offsets within an entry.
+const (
+	offLock   = 0
+	offStatus = 4
+	offNext   = 8
+	offLPN    = 12
+	offIno    = 20
+	offRef    = 28
+)
+
+// ReadEntry decodes entry i from the region (no timing; callers on the DPU
+// side must have DMA'd the bytes or pay atomics per field).
+func ReadEntry(r *mem.Region, l Layout, i int) Entry {
+	a := l.EntryAddr(i)
+	return Entry{
+		Lock:   r.Uint32(a + offLock),
+		Status: r.Uint32(a + offStatus),
+		Next:   r.Uint32(a + offNext),
+		LPN:    r.Uint64(a + offLPN),
+		Ino:    r.Uint64(a + offIno),
+		Ref:    r.Slice(a+offRef, 1)[0],
+	}
+}
+
+// DecodeEntry decodes an entry from raw bytes (e.g. a DMA'd meta chunk).
+func DecodeEntry(b []byte) Entry {
+	le := func(off int) uint32 {
+		return uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24
+	}
+	le64 := func(off int) uint64 {
+		var v uint64
+		for i := 7; i >= 0; i-- {
+			v = v<<8 | uint64(b[off+i])
+		}
+		return v
+	}
+	return Entry{
+		Lock:   le(offLock),
+		Status: le(offStatus),
+		Next:   le(offNext),
+		LPN:    le64(offLPN),
+		Ino:    le64(offIno),
+		Ref:    b[offRef],
+	}
+}
+
+// WriteEntryMeta stores the status/lpn/ino fields of entry i (host-local).
+func WriteEntryMeta(r *mem.Region, l Layout, i int, e Entry) {
+	a := l.EntryAddr(i)
+	r.PutUint32(a+offLock, e.Lock)
+	r.PutUint32(a+offStatus, e.Status)
+	r.PutUint32(a+offNext, e.Next)
+	r.PutUint64(a+offLPN, e.LPN)
+	r.PutUint64(a+offIno, e.Ino)
+	r.Slice(a+offRef, 1)[0] = e.Ref
+}
+
+// InitHeader writes the cache header and formats every entry as free,
+// chaining each bucket's entries through the next pointers.
+func InitHeader(r *mem.Region, l Layout, mode uint32) {
+	r.PutUint32(l.Base+0, uint32(l.PageSize))
+	r.PutUint32(l.Base+4, mode)
+	r.PutUint32(l.Base+8, uint32(l.Total))
+	r.PutUint32(l.Base+12, uint32(l.Total))
+	for b := 0; b < l.Buckets; b++ {
+		lo, hi := l.BucketEntries(b)
+		for i := lo; i < hi; i++ {
+			next := uint32(i + 1)
+			if i == hi-1 {
+				next = uint32(lo) // circular within the bucket
+			}
+			WriteEntryMeta(r, l, i, Entry{Lock: LockNone, Status: StatusFree, Next: next})
+		}
+	}
+}
+
+// HeaderFree reads the free-page counter.
+func HeaderFree(r *mem.Region, l Layout) uint32 { return r.Uint32(l.Base + 12) }
+
+// AddHeaderFree adjusts the free-page counter.
+func AddHeaderFree(r *mem.Region, l Layout, delta int32) {
+	r.PutUint32(l.Base+12, uint32(int32(r.Uint32(l.Base+12))+delta))
+}

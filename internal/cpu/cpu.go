@@ -1,0 +1,106 @@
+// Package cpu models CPU pools (the host Xeon and the DPU's TaiShan cores).
+// Work is charged in cycles; a pool converts cycles to virtual time at its
+// clock frequency and serializes work over a finite number of cores. The
+// pool integrates busy time so experiments can report "cores consumed" and
+// "% CPU usage" exactly the way the paper does.
+package cpu
+
+import (
+	"fmt"
+	"time"
+
+	"dpc/internal/sim"
+)
+
+// Pool is a fixed set of identical cores.
+type Pool struct {
+	eng    *sim.Engine
+	name   string
+	cores  int
+	freqHz int64
+	res    *sim.Resource
+
+	// SwitchOverhead is added to every execution that finds the pool
+	// contended (more runnable work than cores), modeling context-switch
+	// and run-queue cost. The paper attributes the performance drop past
+	// 32 threads on the 24-core DPU to exactly this effect.
+	SwitchOverhead time.Duration
+
+	markBusy float64
+	markTime sim.Time
+}
+
+// NewPool creates a CPU pool.
+func NewPool(eng *sim.Engine, name string, cores int, freqHz int64) *Pool {
+	if cores <= 0 || freqHz <= 0 {
+		panic(fmt.Sprintf("cpu: pool %q cores=%d freq=%d", name, cores, freqHz))
+	}
+	return &Pool{
+		eng:    eng,
+		name:   name,
+		cores:  cores,
+		freqHz: freqHz,
+		res:    sim.NewResource(eng, name, cores),
+	}
+}
+
+// Name returns the pool name.
+func (c *Pool) Name() string { return c.name }
+
+// Cores returns the number of cores.
+func (c *Pool) Cores() int { return c.cores }
+
+// CyclesToDuration converts a cycle count to wall time at this pool's clock.
+func (c *Pool) CyclesToDuration(cycles int64) time.Duration {
+	return time.Duration(cycles * int64(time.Second) / c.freqHz)
+}
+
+// Exec runs cycles of work on one core, blocking p for the computed time
+// plus any queueing delay. If the pool is oversubscribed the configured
+// switch overhead is added.
+func (c *Pool) Exec(p *sim.Proc, cycles int64) {
+	c.ExecDuration(p, c.CyclesToDuration(cycles))
+}
+
+// ExecDuration runs a fixed-duration piece of work on one core.
+func (c *Pool) ExecDuration(p *sim.Proc, d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("cpu: pool %q negative work %v", c.name, d))
+	}
+	contended := c.res.InUse() >= c.cores || c.res.QueueLen() > 0
+	c.res.Acquire(p, 1)
+	if contended && c.SwitchOverhead > 0 {
+		d += c.SwitchOverhead
+	}
+	p.Sleep(d)
+	c.res.Release(1)
+}
+
+// Contended reports whether there is currently more runnable work than cores.
+func (c *Pool) Contended() bool {
+	return c.res.InUse() >= c.cores && c.res.QueueLen() > 0
+}
+
+// InUse returns the number of busy cores right now.
+func (c *Pool) InUse() int { return c.res.InUse() }
+
+// Mark starts a measurement window.
+func (c *Pool) Mark() {
+	c.markBusy = c.res.BusyUnitSeconds()
+	c.markTime = c.eng.Now()
+}
+
+// CoresUsed returns the mean number of busy cores since Mark.
+func (c *Pool) CoresUsed() float64 {
+	elapsed := c.eng.Now().Sub(c.markTime).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return (c.res.BusyUnitSeconds() - c.markBusy) / elapsed
+}
+
+// Usage returns mean utilization since Mark as a fraction of all cores
+// (0..1), the paper's "% CPU usage".
+func (c *Pool) Usage() float64 {
+	return c.CoresUsed() / float64(c.cores)
+}

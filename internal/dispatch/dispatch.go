@@ -1,0 +1,319 @@
+package dispatch
+
+import (
+	"errors"
+
+	"dpc/internal/cache"
+	"dpc/internal/dfs"
+	"dpc/internal/kvfs"
+	"dpc/internal/model"
+	"dpc/internal/nvme"
+	"dpc/internal/nvmefs"
+	"dpc/internal/sim"
+	"dpc/internal/stats"
+)
+
+// Service bundles one file service (KVFS or the offloaded DFS client) with
+// its hybrid-cache control plane.
+type Service struct {
+	// Exactly one of KVFS / DFS is set.
+	KVFS *kvfs.FS
+	DFS  *dfs.Core
+	// Ctl is the hybrid-cache control plane for this service; nil when the
+	// cache is disabled.
+	Ctl *cache.Ctl
+
+	// DPUCache, when non-nil, is a fully DPU-resident page cache (the
+	// "cache entirely offloaded to the DPU" design the paper argues
+	// against in §3.3): hits avoid the backend but every hit still pays a
+	// PCIe transfer back to the host. Used by the cache-placement
+	// ablation. Keys are (ino, lpn); capacity is DPUCacheCap pages.
+	DPUCache    map[[2]uint64][]byte
+	DPUCacheCap int
+	dpuCacheLRU [][2]uint64
+}
+
+// dpuCacheGet looks up the DPU-resident cache.
+func (s *Service) dpuCacheGet(ino, lpn uint64) ([]byte, bool) {
+	d, ok := s.DPUCache[[2]uint64{ino, lpn}]
+	return d, ok
+}
+
+// dpuCachePut inserts with simple FIFO eviction.
+func (s *Service) dpuCachePut(ino, lpn uint64, data []byte) {
+	key := [2]uint64{ino, lpn}
+	if _, ok := s.DPUCache[key]; !ok {
+		s.dpuCacheLRU = append(s.dpuCacheLRU, key)
+		for len(s.dpuCacheLRU) > s.DPUCacheCap {
+			victim := s.dpuCacheLRU[0]
+			s.dpuCacheLRU = s.dpuCacheLRU[1:]
+			delete(s.DPUCache, victim)
+		}
+	}
+	s.DPUCache[key] = append([]byte(nil), data...)
+}
+
+func (s *Service) backendRead(p *sim.Proc, ino, off uint64, n int) ([]byte, error) {
+	if s.KVFS != nil {
+		return s.KVFS.Read(p, ino, off, n)
+	}
+	return s.DFS.Read(p, ino, off, n)
+}
+
+func (s *Service) backendWrite(p *sim.Proc, ino, off uint64, data []byte) error {
+	if s.KVFS != nil {
+		return s.KVFS.Write(p, ino, off, data)
+	}
+	return s.DFS.Write(p, ino, off, data)
+}
+
+// Dispatcher is the DPU IO_Dispatch module: an nvmefs.Handler.
+type Dispatcher struct {
+	m        *model.Machine
+	services [2]*Service // indexed by nvme.DispatchKVFS / nvme.DispatchDFS
+
+	Requests   stats.Counter
+	CacheFills stats.Counter
+}
+
+// New creates a dispatcher. Either service may be nil.
+func New(m *model.Machine, kvfsSvc, dfsSvc *Service) *Dispatcher {
+	d := &Dispatcher{m: m}
+	d.services[nvme.DispatchKVFS] = kvfsSvc
+	d.services[nvme.DispatchDFS] = dfsSvc
+	return d
+}
+
+// Handle implements nvmefs.Handler.
+func (d *Dispatcher) Handle(p *sim.Proc, req nvmefs.Request) nvmefs.Response {
+	d.Requests.Inc()
+	svc := d.services[req.SQE.Dispatch&1]
+	if svc == nil {
+		return nvmefs.Response{Status: nvme.StatusInvalid}
+	}
+	hdr, err := DecodeReqHeader(req.Header)
+	if err != nil {
+		return nvmefs.Response{Status: nvme.StatusInvalid}
+	}
+
+	switch req.SQE.FileOp {
+	case nvme.FileOpRead:
+		return d.handleRead(p, svc, hdr)
+	case nvme.FileOpWrite:
+		return d.handleWrite(p, svc, hdr, req.Data)
+	case nvme.FileOpCacheEvict:
+		if svc.Ctl == nil {
+			return nvmefs.Response{Status: nvme.StatusInvalid}
+		}
+		freed := svc.Ctl.ReclaimBucket(p, hdr.Ino, hdr.Off, int(hdr.Len))
+		return nvmefs.Response{Status: nvme.StatusOK, Result: uint32(freed)}
+	case nvme.FileOpFlush:
+		// fsync: flush one inode's dirty pages.
+		if svc.Ctl != nil {
+			flushed := svc.Ctl.FlushIno(p, hdr.Ino)
+			return nvmefs.Response{Status: nvme.StatusOK, Result: uint32(flushed)}
+		}
+		return nvmefs.Response{Status: nvme.StatusOK}
+	case nvme.FileOpBarrier:
+		if svc.Ctl != nil {
+			svc.Ctl.FlushPass(p, 1<<30)
+		}
+		return nvmefs.Response{Status: nvme.StatusOK}
+	default:
+		return d.handleMeta(p, svc, req.SQE.FileOp, hdr, req.Data)
+	}
+}
+
+// handleRead serves a read miss. With FlagFillCache the page is installed
+// into the host cache and only its entry index travels back (Result =
+// idx+1); otherwise the data is returned in the read buffer.
+func (d *Dispatcher) handleRead(p *sim.Proc, svc *Service, hdr ReqHeader) nvmefs.Response {
+	if svc.Ctl != nil && hdr.Flags&FlagFillCache != 0 {
+		ps := svc.Ctl.L.PageSize
+		lpn := hdr.Off / uint64(ps)
+		if hdr.Flags&FlagNoPrefetch == 0 {
+			svc.Ctl.NotifyRead(p, hdr.Ino, lpn)
+		}
+		page, ok := readPage(p, svc, hdr.Ino, lpn, ps)
+		if !ok {
+			return nvmefs.Response{Status: nvme.StatusNotFound}
+		}
+		if idx := svc.Ctl.FillPage(p, hdr.Ino, lpn, page); idx >= 0 {
+			d.CacheFills.Inc()
+			// Only the cache entry index travels back, in the response
+			// header: RH[0]=1, RH[1:5]=index.
+			return nvmefs.Response{Status: nvme.StatusOK, Header: fillHeader(idx)}
+		}
+		// Fill failed (bucket busy): ship the bytes back instead.
+		return nvmefs.Response{Status: nvme.StatusOK, Header: []byte{0}, Data: page}
+	}
+	// DPU-resident cache path (ablation): serve hits from DPU DRAM; the
+	// payload still crosses PCIe in the response.
+	if svc.DPUCache != nil && hdr.Len > 0 {
+		lpn := hdr.Off / uint64(hdr.Len)
+		if data, ok := svc.dpuCacheGet(hdr.Ino, lpn); ok && uint64(len(data)) == uint64(hdr.Len) {
+			d.m.DPUExec(p, d.m.Cfg.Costs.DPUCacheCtl)
+			return nvmefs.Response{Status: nvme.StatusOK, Header: []byte{0}, Data: data}
+		}
+	}
+	data, err := svc.backendRead(p, hdr.Ino, hdr.Off, int(hdr.Len))
+	if err != nil {
+		return errResponse(err)
+	}
+	if svc.DPUCache != nil && hdr.Len > 0 && len(data) == int(hdr.Len) {
+		svc.dpuCachePut(hdr.Ino, hdr.Off/uint64(hdr.Len), data)
+	}
+	return nvmefs.Response{Status: nvme.StatusOK, Header: []byte{0}, Data: data}
+}
+
+// fillHeader encodes a "page installed in cache" response header.
+func fillHeader(idx int) []byte {
+	return []byte{1, byte(idx), byte(idx >> 8), byte(idx >> 16), byte(idx >> 24)}
+}
+
+// ParseFillHeader decodes a read response header: filled reports whether
+// the page went into the host cache instead of the read buffer.
+func ParseFillHeader(h []byte) (filled bool, idx int) {
+	if len(h) >= 5 && h[0] == 1 {
+		return true, int(h[1]) | int(h[2])<<8 | int(h[3])<<16 | int(h[4])<<24
+	}
+	return false, 0
+}
+
+// readPage reads one full page from the backend, zero-padded at EOF.
+func readPage(p *sim.Proc, svc *Service, ino, lpn uint64, pageSize int) ([]byte, bool) {
+	data, err := svc.backendRead(p, ino, lpn*uint64(pageSize), pageSize)
+	if err != nil || data == nil {
+		return nil, false
+	}
+	if len(data) < pageSize {
+		data = append(data, make([]byte, pageSize-len(data))...)
+	}
+	return data, true
+}
+
+func (d *Dispatcher) handleWrite(p *sim.Proc, svc *Service, hdr ReqHeader, data []byte) nvmefs.Response {
+	if int(hdr.Len) < len(data) {
+		data = data[:hdr.Len]
+	}
+	if err := svc.backendWrite(p, hdr.Ino, hdr.Off, data); err != nil {
+		return errResponse(err)
+	}
+	return nvmefs.Response{Status: nvme.StatusOK, Result: uint32(len(data))}
+}
+
+// handleMeta executes namespace operations. Paths arrive in the payload:
+// the primary path in data[:hdr.PathLen], an optional second path (rename)
+// in data[hdr.PathLen : hdr.PathLen+hdr.Aux].
+func (d *Dispatcher) handleMeta(p *sim.Proc, svc *Service, op uint32, hdr ReqHeader, data []byte) nvmefs.Response {
+	if int(hdr.PathLen)+int(hdr.Aux) > len(data) {
+		return nvmefs.Response{Status: nvme.StatusInvalid}
+	}
+	path := string(data[:hdr.PathLen])
+	path2 := string(data[hdr.PathLen : int(hdr.PathLen)+int(hdr.Aux)])
+
+	if svc.KVFS != nil {
+		return d.kvfsMeta(p, svc.KVFS, op, hdr, path, path2)
+	}
+	return d.dfsMeta(p, svc.DFS, op, hdr, path)
+}
+
+func (d *Dispatcher) kvfsMeta(p *sim.Proc, fs *kvfs.FS, op uint32, hdr ReqHeader, path, path2 string) nvmefs.Response {
+	switch op {
+	case nvme.FileOpLookup:
+		ino, err := fs.Lookup(p, path)
+		if err != nil {
+			return errResponse(err)
+		}
+		a, err := fs.Getattr(p, ino)
+		if err != nil {
+			return errResponse(err)
+		}
+		return nvmefs.Response{Status: nvme.StatusOK, Header: a.Marshal()}
+	case nvme.FileOpCreate:
+		ino, err := fs.Create(p, path)
+		if err != nil {
+			return errResponse(err)
+		}
+		a := kvfs.Attr{Ino: ino, Mode: kvfs.ModeFile, Nlink: 1}
+		return nvmefs.Response{Status: nvme.StatusOK, Header: a.Marshal()}
+	case nvme.FileOpMkdir:
+		ino, err := fs.Mkdir(p, path)
+		if err != nil {
+			return errResponse(err)
+		}
+		a := kvfs.Attr{Ino: ino, Mode: kvfs.ModeDir, Nlink: 2}
+		return nvmefs.Response{Status: nvme.StatusOK, Header: a.Marshal()}
+	case nvme.FileOpGetattr:
+		a, err := fs.Getattr(p, hdr.Ino)
+		if err != nil {
+			return errResponse(err)
+		}
+		return nvmefs.Response{Status: nvme.StatusOK, Header: a.Marshal()}
+	case nvme.FileOpReaddir:
+		ents, err := fs.Readdir(p, path)
+		if err != nil {
+			return errResponse(err)
+		}
+		names := make([]string, len(ents))
+		inos := make([]uint64, len(ents))
+		for i, e := range ents {
+			names[i], inos[i] = e.Name, e.Ino
+		}
+		return nvmefs.Response{Status: nvme.StatusOK, Header: []byte{1}, Data: EncodeDirEntries(names, inos)}
+	case nvme.FileOpUnlink:
+		return statusOnly(fs.Unlink(p, path))
+	case nvme.FileOpRmdir:
+		return statusOnly(fs.Rmdir(p, path))
+	case nvme.FileOpRename:
+		return statusOnly(fs.Rename(p, path, path2))
+	case nvme.FileOpTruncate:
+		return statusOnly(fs.Truncate(p, hdr.Ino))
+	}
+	return nvmefs.Response{Status: nvme.StatusInvalid}
+}
+
+func (d *Dispatcher) dfsMeta(p *sim.Proc, core *dfs.Core, op uint32, hdr ReqHeader, path string) nvmefs.Response {
+	switch op {
+	case nvme.FileOpCreate:
+		ino, err := core.Create(p, path)
+		if err != nil {
+			return errResponse(err)
+		}
+		a := kvfs.Attr{Ino: ino, Mode: kvfs.ModeFile, Nlink: 1}
+		return nvmefs.Response{Status: nvme.StatusOK, Header: a.Marshal()}
+	case nvme.FileOpLookup, nvme.FileOpOpen:
+		ino, size, err := core.Lookup(p, path)
+		if err != nil {
+			return errResponse(err)
+		}
+		a := kvfs.Attr{Ino: ino, Mode: kvfs.ModeFile, Size: size, Nlink: 1}
+		return nvmefs.Response{Status: nvme.StatusOK, Header: a.Marshal()}
+	}
+	return nvmefs.Response{Status: nvme.StatusInvalid}
+}
+
+func statusOnly(err error) nvmefs.Response {
+	if err != nil {
+		return errResponse(err)
+	}
+	return nvmefs.Response{Status: nvme.StatusOK, Header: []byte{1}}
+}
+
+// errResponse maps file system errors onto NVMe completion statuses.
+func errResponse(err error) nvmefs.Response {
+	switch {
+	case errors.Is(err, kvfs.ErrNotFound) || errors.Is(err, dfs.ErrNotFound):
+		return nvmefs.Response{Status: nvme.StatusNotFound}
+	case errors.Is(err, kvfs.ErrExists) || errors.Is(err, dfs.ErrExists):
+		return nvmefs.Response{Status: nvme.StatusExists}
+	case errors.Is(err, kvfs.ErrNotDir):
+		return nvmefs.Response{Status: nvme.StatusNotDir}
+	case errors.Is(err, kvfs.ErrIsDir):
+		return nvmefs.Response{Status: nvme.StatusIsDir}
+	case errors.Is(err, kvfs.ErrNotEmpty):
+		return nvmefs.Response{Status: nvme.StatusNotEmpty}
+	default:
+		return nvmefs.Response{Status: nvme.StatusIOError}
+	}
+}

@@ -1,0 +1,157 @@
+// Package fuse implements the minimal FUSE wire format used by the
+// virtio-fs baseline (the DPFS data path the paper compares against).
+// Requests are encoded into real bytes placed in host memory; the DPU-side
+// HAL decodes them after DMA-ing them across, exactly as DPFS does.
+package fuse
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// FUSE opcodes (the subset the baseline exercises).
+const (
+	OpLookup  uint32 = 1
+	OpGetattr uint32 = 3
+	OpMkdir   uint32 = 9
+	OpUnlink  uint32 = 10
+	OpRmdir   uint32 = 11
+	OpRename  uint32 = 12
+	OpOpen    uint32 = 14
+	OpRead    uint32 = 15
+	OpWrite   uint32 = 16
+	OpRelease uint32 = 18
+	OpFlush   uint32 = 25
+	OpCreate  uint32 = 35
+)
+
+// Header sizes, matching the kernel ABI.
+const (
+	InHeaderSize  = 40
+	OutHeaderSize = 16
+	ReadInSize    = 24
+	WriteInSize   = 24
+)
+
+// InHeader prefixes every FUSE request.
+type InHeader struct {
+	Len    uint32 // total request length including this header
+	Opcode uint32
+	Unique uint64 // request tag, echoed in the reply
+	NodeID uint64 // inode the operation targets
+	UID    uint32
+	GID    uint32
+	PID    uint32
+}
+
+// Marshal encodes the header into buf.
+func (h *InHeader) Marshal(buf []byte) {
+	if len(buf) < InHeaderSize {
+		panic(fmt.Sprintf("fuse: in-header buffer %d", len(buf)))
+	}
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], h.Len)
+	le.PutUint32(buf[4:], h.Opcode)
+	le.PutUint64(buf[8:], h.Unique)
+	le.PutUint64(buf[16:], h.NodeID)
+	le.PutUint32(buf[24:], h.UID)
+	le.PutUint32(buf[28:], h.GID)
+	le.PutUint32(buf[32:], h.PID)
+	le.PutUint32(buf[36:], 0) // padding
+}
+
+// UnmarshalInHeader decodes an in-header.
+func UnmarshalInHeader(buf []byte) (InHeader, error) {
+	if len(buf) < InHeaderSize {
+		return InHeader{}, fmt.Errorf("fuse: in-header buffer %d", len(buf))
+	}
+	le := binary.LittleEndian
+	return InHeader{
+		Len:    le.Uint32(buf[0:]),
+		Opcode: le.Uint32(buf[4:]),
+		Unique: le.Uint64(buf[8:]),
+		NodeID: le.Uint64(buf[16:]),
+		UID:    le.Uint32(buf[24:]),
+		GID:    le.Uint32(buf[28:]),
+		PID:    le.Uint32(buf[32:]),
+	}, nil
+}
+
+// OutHeader prefixes every FUSE reply.
+type OutHeader struct {
+	Len    uint32
+	Error  int32 // negative errno, 0 on success
+	Unique uint64
+}
+
+// Marshal encodes the header into buf.
+func (h *OutHeader) Marshal(buf []byte) {
+	if len(buf) < OutHeaderSize {
+		panic(fmt.Sprintf("fuse: out-header buffer %d", len(buf)))
+	}
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], h.Len)
+	le.PutUint32(buf[4:], uint32(h.Error))
+	le.PutUint64(buf[8:], h.Unique)
+}
+
+// UnmarshalOutHeader decodes an out-header.
+func UnmarshalOutHeader(buf []byte) (OutHeader, error) {
+	if len(buf) < OutHeaderSize {
+		return OutHeader{}, fmt.Errorf("fuse: out-header buffer %d", len(buf))
+	}
+	le := binary.LittleEndian
+	return OutHeader{
+		Len:    le.Uint32(buf[0:]),
+		Error:  int32(le.Uint32(buf[4:])),
+		Unique: le.Uint64(buf[8:]),
+	}, nil
+}
+
+// IOIn is the body of READ and WRITE requests (fuse_read_in/fuse_write_in,
+// both 24 bytes in the fields we carry).
+type IOIn struct {
+	FH     uint64
+	Offset uint64
+	Size   uint32
+	Flags  uint32
+}
+
+// Marshal encodes the body into buf.
+func (w *IOIn) Marshal(buf []byte) {
+	if len(buf) < WriteInSize {
+		panic(fmt.Sprintf("fuse: io-in buffer %d", len(buf)))
+	}
+	le := binary.LittleEndian
+	le.PutUint64(buf[0:], w.FH)
+	le.PutUint64(buf[8:], w.Offset)
+	le.PutUint32(buf[16:], w.Size)
+	le.PutUint32(buf[20:], w.Flags)
+}
+
+// UnmarshalIOIn decodes a READ/WRITE body.
+func UnmarshalIOIn(buf []byte) (IOIn, error) {
+	if len(buf) < WriteInSize {
+		return IOIn{}, fmt.Errorf("fuse: io-in buffer %d", len(buf))
+	}
+	le := binary.LittleEndian
+	return IOIn{
+		FH:     le.Uint64(buf[0:]),
+		Offset: le.Uint64(buf[8:]),
+		Size:   le.Uint32(buf[16:]),
+		Flags:  le.Uint32(buf[20:]),
+	}, nil
+}
+
+// Request is a decoded FUSE request as seen by the DPU-side server.
+type Request struct {
+	Header InHeader
+	IO     IOIn   // valid for OpRead/OpWrite
+	Data   []byte // write payload
+}
+
+// Response is the server's reply.
+type Response struct {
+	Error int32
+	Data  []byte // read payload
+}

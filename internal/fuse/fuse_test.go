@@ -1,0 +1,67 @@
+package fuse
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInHeaderRoundTrip(t *testing.T) {
+	f := func(ln, op uint32, unique, node uint64, uid, gid, pid uint32) bool {
+		h := InHeader{Len: ln, Opcode: op, Unique: unique, NodeID: node, UID: uid, GID: gid, PID: pid}
+		var buf [InHeaderSize]byte
+		h.Marshal(buf[:])
+		got, err := UnmarshalInHeader(buf[:])
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutHeaderRoundTrip(t *testing.T) {
+	f := func(ln uint32, errno int32, unique uint64) bool {
+		h := OutHeader{Len: ln, Error: errno, Unique: unique}
+		var buf [OutHeaderSize]byte
+		h.Marshal(buf[:])
+		got, err := UnmarshalOutHeader(buf[:])
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIOInRoundTrip(t *testing.T) {
+	f := func(fh, off uint64, size, flags uint32) bool {
+		w := IOIn{FH: fh, Offset: off, Size: size, Flags: flags}
+		var buf [WriteInSize]byte
+		w.Marshal(buf[:])
+		got, err := UnmarshalIOIn(buf[:])
+		return err == nil && got == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShortBuffers(t *testing.T) {
+	if _, err := UnmarshalInHeader(make([]byte, 10)); err == nil {
+		t.Error("short in-header accepted")
+	}
+	if _, err := UnmarshalOutHeader(make([]byte, 10)); err == nil {
+		t.Error("short out-header accepted")
+	}
+	if _, err := UnmarshalIOIn(make([]byte, 10)); err == nil {
+		t.Error("short io-in accepted")
+	}
+}
+
+func TestMarshalShortBufferPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short marshal buffer did not panic")
+		}
+	}()
+	h := InHeader{}
+	h.Marshal(make([]byte, 8))
+}

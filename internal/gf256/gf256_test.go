@@ -1,0 +1,159 @@
+package gf256
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMulBasics(t *testing.T) {
+	cases := []struct{ a, b, want byte }{
+		{0, 5, 0}, {5, 0, 0}, {1, 7, 7}, {7, 1, 7},
+		{2, 2, 4}, {0x80, 2, 0x1d}, // overflow wraps through the polynomial
+	}
+	for _, c := range cases {
+		if got := Mul(c.a, c.b); got != c.want {
+			t.Errorf("Mul(%#x,%#x) = %#x, want %#x", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	// Exhaustive over pairs: commutativity and identity.
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			x, y := byte(a), byte(b)
+			if Mul(x, y) != Mul(y, x) {
+				t.Fatalf("Mul not commutative at %d,%d", a, b)
+			}
+			if Add(x, y) != Add(y, x) {
+				t.Fatalf("Add not commutative at %d,%d", a, b)
+			}
+		}
+		if Mul(byte(a), 1) != byte(a) {
+			t.Fatalf("1 is not multiplicative identity for %d", a)
+		}
+		if Add(byte(a), 0) != byte(a) {
+			t.Fatalf("0 is not additive identity for %d", a)
+		}
+		if Add(byte(a), byte(a)) != 0 {
+			t.Fatalf("x+x != 0 for %d", a)
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		inv := Inv(byte(a))
+		if Mul(byte(a), inv) != 1 {
+			t.Fatalf("a * a^-1 != 1 for a=%d (inv=%d)", a, inv)
+		}
+	}
+}
+
+func TestDiv(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 1; b < 256; b++ {
+			q := Div(byte(a), byte(b))
+			if Mul(q, byte(b)) != byte(a) {
+				t.Fatalf("(%d/%d)*%d != %d", a, b, b, a)
+			}
+		}
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero did not panic")
+		}
+	}()
+	Div(3, 0)
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestExpGeneratorCycle(t *testing.T) {
+	if Exp(0) != 1 {
+		t.Fatalf("Exp(0) = %d", Exp(0))
+	}
+	if Exp(255) != 1 {
+		t.Fatalf("Exp(255) = %d (generator order must be 255)", Exp(255))
+	}
+	if Exp(-1) != Exp(254) {
+		t.Fatal("negative exponent wrap broken")
+	}
+	seen := map[byte]bool{}
+	for i := 0; i < 255; i++ {
+		v := Exp(i)
+		if seen[v] {
+			t.Fatalf("Exp repeats value %d before full cycle", v)
+		}
+		seen[v] = true
+	}
+}
+
+// Property: distributivity a*(b+c) == a*b + a*c.
+func TestDistributivityProperty(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: associativity of multiplication.
+func TestAssociativityProperty(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		return Mul(Mul(a, b), c) == Mul(a, Mul(b, c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulSlice(t *testing.T) {
+	src := []byte{0, 1, 2, 3, 255}
+	dst := make([]byte, len(src))
+	MulSlice(7, src, dst)
+	for i := range src {
+		if dst[i] != Mul(7, src[i]) {
+			t.Fatalf("MulSlice[%d] = %d, want %d", i, dst[i], Mul(7, src[i]))
+		}
+	}
+	MulSlice(0, src, dst)
+	for i := range dst {
+		if dst[i] != 0 {
+			t.Fatal("MulSlice by zero should clear dst")
+		}
+	}
+}
+
+func TestMulAddSlice(t *testing.T) {
+	src := []byte{1, 2, 3, 4}
+	dst := []byte{10, 20, 30, 40}
+	want := make([]byte, 4)
+	for i := range want {
+		want[i] = Add(dst[i], Mul(9, src[i]))
+	}
+	MulAddSlice(9, src, dst)
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("MulAddSlice[%d] = %d, want %d", i, dst[i], want[i])
+		}
+	}
+	before := append([]byte(nil), dst...)
+	MulAddSlice(0, src, dst)
+	for i := range dst {
+		if dst[i] != before[i] {
+			t.Fatal("MulAddSlice by zero must be a no-op")
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"dpc/internal/fabric"
+	"dpc/internal/sim"
+)
+
+func newReplicatedCluster(t *testing.T, shards, replicas int) (*sim.Engine, *Cluster, *Client) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	net := fabric.NewNetwork(e, fabric.DefaultConfig())
+	cfg := DefaultClusterConfig()
+	cfg.Shards = shards
+	cfg.Replicas = replicas
+	c := NewCluster(e, net, cfg)
+	return e, c, c.NewClient(net.NewNode("dpu"))
+}
+
+func TestReplicaShardsDistinct(t *testing.T) {
+	_, c, _ := newReplicatedCluster(t, 8, 3)
+	rs := c.ReplicaShards("dAAAABBBBx")
+	if len(rs) != 3 {
+		t.Fatalf("replicas = %v", rs)
+	}
+	seen := map[int]bool{}
+	for _, r := range rs {
+		if seen[r] {
+			t.Fatalf("duplicate replica in %v", rs)
+		}
+		seen[r] = true
+	}
+	// Replication factor is clamped to the shard count.
+	_, c2, _ := newReplicatedCluster(t, 2, 5)
+	if got := len(c2.ReplicaShards("k")); got != 2 {
+		t.Fatalf("clamped replicas = %d", got)
+	}
+}
+
+func TestWritesReachAllReplicas(t *testing.T) {
+	e, c, cl := newReplicatedCluster(t, 8, 2)
+	e.Go("client", func(p *sim.Proc) {
+		cl.Put(p, "replicated-key", []byte("v1"))
+	})
+	e.Run()
+	e.Shutdown()
+	for _, idx := range c.ReplicaShards("replicated-key") {
+		if v, ok := c.StoreOf(idx).Get("replicated-key"); !ok || string(v) != "v1" {
+			t.Fatalf("replica %d missing the key", idx)
+		}
+	}
+}
+
+func TestReadFailsOverToReplica(t *testing.T) {
+	e, c, cl := newReplicatedCluster(t, 8, 2)
+	e.Go("setup", func(p *sim.Proc) {
+		cl.Put(p, "ha-key", []byte("survives"))
+	})
+	e.Run()
+	// Kill the primary.
+	primary := c.ShardFor("ha-key")
+	c.SetShardDown(primary, true)
+	var got []byte
+	var ok bool
+	e.Go("reader", func(p *sim.Proc) {
+		got, ok = cl.Get(p, "ha-key")
+	})
+	e.Run()
+	e.Shutdown()
+	if !ok || !bytes.Equal(got, []byte("survives")) {
+		t.Fatalf("failover read = %q, %v", got, ok)
+	}
+}
+
+func TestAllReplicasDownReadFails(t *testing.T) {
+	e, c, cl := newReplicatedCluster(t, 8, 2)
+	e.Go("setup", func(p *sim.Proc) { cl.Put(p, "doomed", []byte("x")) })
+	e.Run()
+	for _, idx := range c.ReplicaShards("doomed") {
+		c.SetShardDown(idx, true)
+	}
+	var ok bool
+	e.Go("reader", func(p *sim.Proc) { _, ok = cl.Get(p, "doomed") })
+	e.Run()
+	e.Shutdown()
+	if ok {
+		t.Fatal("read succeeded with every replica down")
+	}
+}
+
+func TestWriteSurvivesOneReplicaDown(t *testing.T) {
+	e, c, cl := newReplicatedCluster(t, 8, 2)
+	replicas := c.ReplicaShards("wkey")
+	c.SetShardDown(replicas[0], true)
+	e.Go("writer", func(p *sim.Proc) {
+		cl.Put(p, "wkey", []byte("written"))
+	})
+	e.Run()
+	// The surviving replica has the value; the primary does not.
+	if _, ok := c.StoreOf(replicas[0]).Get("wkey"); ok {
+		t.Fatal("down shard accepted a write")
+	}
+	if v, ok := c.StoreOf(replicas[1]).Get("wkey"); !ok || string(v) != "written" {
+		t.Fatal("surviving replica missed the write")
+	}
+	// Reads fail over and observe it.
+	var got []byte
+	var ok bool
+	e.Go("reader", func(p *sim.Proc) { got, ok = cl.Get(p, "wkey") })
+	e.Run()
+	e.Shutdown()
+	if !ok || string(got) != "written" {
+		t.Fatalf("read after degraded write = %q, %v", got, ok)
+	}
+}
+
+func TestDeleteReplicated(t *testing.T) {
+	e, c, cl := newReplicatedCluster(t, 8, 3)
+	e.Go("client", func(p *sim.Proc) {
+		cl.Put(p, "temp", []byte("x"))
+		if !cl.Delete(p, "temp") {
+			t.Error("delete missed")
+		}
+		if _, ok := cl.Get(p, "temp"); ok {
+			t.Error("key visible after delete")
+		}
+	})
+	e.Run()
+	e.Shutdown()
+	for _, idx := range c.ReplicaShards("temp") {
+		if _, ok := c.StoreOf(idx).Get("temp"); ok {
+			t.Fatalf("replica %d still holds deleted key", idx)
+		}
+	}
+}
+
+func TestReplicatedScanFailsOver(t *testing.T) {
+	e, c, cl := newReplicatedCluster(t, 8, 2)
+	prefix := "dAAAABBBB"
+	e.Go("setup", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			cl.Put(p, fmt.Sprintf("%sitem%d", prefix, i), []byte{byte(i)})
+		}
+	})
+	e.Run()
+	c.SetShardDown(c.ShardFor(prefix), true)
+	var n int
+	e.Go("scanner", func(p *sim.Proc) {
+		n = len(cl.Scan(p, prefix, 0))
+	})
+	e.Run()
+	e.Shutdown()
+	if n != 5 {
+		t.Fatalf("failover scan returned %d items", n)
+	}
+}

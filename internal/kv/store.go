@@ -1,0 +1,145 @@
+// Package kv implements the disaggregated key-value store that backs KVFS:
+// a real ordered store (skiplist) holding real bytes, sharded across storage
+// nodes reached over the simulated fabric. Keys sharing their first
+// RoutePrefixLen bytes land on the same shard, so KVFS's directory prefix
+// scans are single-shard operations.
+package kv
+
+import (
+	"math/rand"
+	"strings"
+)
+
+const maxLevel = 16
+
+type node struct {
+	key  string
+	val  []byte
+	next [maxLevel]*node
+}
+
+// Store is an ordered in-memory key-value store (a skiplist). It is the
+// storage engine of one shard; all mutation goes through the shard's server
+// process, so no internal locking is needed.
+type Store struct {
+	head  *node
+	level int
+	size  int
+	rng   *rand.Rand
+}
+
+// KV is one key-value pair returned by Scan.
+type KV struct {
+	Key string
+	Val []byte
+}
+
+// NewStore creates an empty store. The seed makes skiplist tower heights
+// deterministic.
+func NewStore(seed int64) *Store {
+	return &Store{head: &node{}, level: 1, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Len returns the number of keys.
+func (s *Store) Len() int { return s.size }
+
+func (s *Store) randomLevel() int {
+	lvl := 1
+	for lvl < maxLevel && s.rng.Intn(2) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// findPrev fills prevs with the rightmost node before key at every level.
+func (s *Store) findPrev(key string, prevs *[maxLevel]*node) *node {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+		prevs[i] = x
+	}
+	return x.next[0]
+}
+
+// Get returns the value for key.
+func (s *Store) Get(key string) ([]byte, bool) {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+	}
+	n := x.next[0]
+	if n != nil && n.key == key {
+		return n.val, true
+	}
+	return nil, false
+}
+
+// Put stores val under key, replacing any existing value. The value is
+// copied so callers may reuse their buffers.
+func (s *Store) Put(key string, val []byte) {
+	var prevs [maxLevel]*node
+	n := s.findPrev(key, &prevs)
+	v := append([]byte(nil), val...)
+	if n != nil && n.key == key {
+		n.val = v
+		return
+	}
+	lvl := s.randomLevel()
+	if lvl > s.level {
+		for i := s.level; i < lvl; i++ {
+			prevs[i] = s.head
+		}
+		s.level = lvl
+	}
+	nn := &node{key: key, val: v}
+	for i := 0; i < lvl; i++ {
+		nn.next[i] = prevs[i].next[i]
+		prevs[i].next[i] = nn
+	}
+	s.size++
+}
+
+// Delete removes key, reporting whether it existed.
+func (s *Store) Delete(key string) bool {
+	var prevs [maxLevel]*node
+	n := s.findPrev(key, &prevs)
+	if n == nil || n.key != key {
+		return false
+	}
+	for i := 0; i < s.level; i++ {
+		if prevs[i].next[i] == n {
+			prevs[i].next[i] = n.next[i]
+		}
+	}
+	for s.level > 1 && s.head.next[s.level-1] == nil {
+		s.level--
+	}
+	s.size--
+	return true
+}
+
+// Scan returns up to limit pairs whose keys start with prefix, in key order.
+// limit <= 0 means unlimited.
+func (s *Store) Scan(prefix string, limit int) []KV {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < prefix {
+			x = x.next[i]
+		}
+	}
+	var out []KV
+	for n := x.next[0]; n != nil && strings.HasPrefix(n.key, prefix); n = n.next[0] {
+		out = append(out, KV{Key: n.Key(), Val: append([]byte(nil), n.val...)})
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// Key exposes a node's key (helper for Scan).
+func (n *node) Key() string { return n.key }

@@ -1,0 +1,151 @@
+package kv
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStoreBasics(t *testing.T) {
+	s := NewStore(1)
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("Get on empty store found something")
+	}
+	s.Put("a", []byte("1"))
+	s.Put("b", []byte("2"))
+	if v, ok := s.Get("a"); !ok || string(v) != "1" {
+		t.Fatalf("Get a = %q,%v", v, ok)
+	}
+	s.Put("a", []byte("updated"))
+	if v, _ := s.Get("a"); string(v) != "updated" {
+		t.Fatal("overwrite failed")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.Delete("a") || s.Delete("a") {
+		t.Fatal("Delete semantics wrong")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len after delete = %d", s.Len())
+	}
+}
+
+func TestStoreValueIsolation(t *testing.T) {
+	s := NewStore(1)
+	buf := []byte("hello")
+	s.Put("k", buf)
+	buf[0] = 'X'
+	if v, _ := s.Get("k"); string(v) != "hello" {
+		t.Fatal("store aliases caller buffer")
+	}
+}
+
+func TestScanOrderedWithPrefix(t *testing.T) {
+	s := NewStore(1)
+	keys := []string{"dir1/c", "dir1/a", "dir2/x", "dir1/b", "dir10/z"}
+	for _, k := range keys {
+		s.Put(k, []byte(k))
+	}
+	got := s.Scan("dir1/", 0)
+	want := []string{"dir1/a", "dir1/b", "dir1/c"}
+	if len(got) != len(want) {
+		t.Fatalf("Scan = %d results", len(got))
+	}
+	for i, kv := range got {
+		if kv.Key != want[i] {
+			t.Fatalf("Scan[%d] = %q, want %q", i, kv.Key, want[i])
+		}
+	}
+	if got := s.Scan("dir1/", 2); len(got) != 2 {
+		t.Fatalf("limited scan = %d", len(got))
+	}
+	if got := s.Scan("nope/", 0); len(got) != 0 {
+		t.Fatal("scan of absent prefix returned results")
+	}
+}
+
+// Property: the store behaves exactly like a map with sorted iteration.
+func TestStoreMatchesModelProperty(t *testing.T) {
+	type op struct {
+		Kind byte
+		Key  uint8
+		Val  uint16
+	}
+	f := func(ops []op) bool {
+		s := NewStore(42)
+		m := map[string][]byte{}
+		for _, o := range ops {
+			key := fmt.Sprintf("k%03d", o.Key)
+			switch o.Kind % 3 {
+			case 0:
+				val := []byte(fmt.Sprintf("v%d", o.Val))
+				s.Put(key, val)
+				m[key] = val
+			case 1:
+				got := s.Delete(key)
+				_, want := m[key]
+				if got != want {
+					return false
+				}
+				delete(m, key)
+			case 2:
+				got, ok := s.Get(key)
+				want, wok := m[key]
+				if ok != wok || string(got) != string(want) {
+					return false
+				}
+			}
+		}
+		if s.Len() != len(m) {
+			return false
+		}
+		// Full scan must equal sorted model keys.
+		var wantKeys []string
+		for k := range m {
+			wantKeys = append(wantKeys, k)
+		}
+		sort.Strings(wantKeys)
+		scan := s.Scan("k", 0)
+		if len(scan) != len(wantKeys) {
+			return false
+		}
+		for i := range scan {
+			if scan[i].Key != wantKeys[i] || string(scan[i].Val) != string(m[wantKeys[i]]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreLargeOrdered(t *testing.T) {
+	s := NewStore(7)
+	rng := rand.New(rand.NewSource(7))
+	n := 5000
+	perm := rng.Perm(n)
+	for _, i := range perm {
+		s.Put(fmt.Sprintf("key-%06d", i), []byte{byte(i)})
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	all := s.Scan("key-", 0)
+	if len(all) != n {
+		t.Fatalf("scan = %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if !(all[i-1].Key < all[i].Key) {
+			t.Fatal("scan not ordered")
+		}
+	}
+	if !strings.HasPrefix(all[0].Key, "key-000000") {
+		t.Fatalf("first key = %q", all[0].Key)
+	}
+}

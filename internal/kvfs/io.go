@@ -1,0 +1,241 @@
+package kvfs
+
+import (
+	"dpc/internal/sim"
+)
+
+// fanout runs fns concurrently as sim processes and waits for all of them:
+// multi-block reads and writes hit many KV shards in parallel, the way a
+// real scatter-gather client would.
+func (fs *FS) fanout(p *sim.Proc, fns []func(pp *sim.Proc)) {
+	if len(fns) == 1 {
+		fns[0](p)
+		return
+	}
+	remaining := len(fns)
+	done := sim.NewCond(fs.m.Eng, "kvfs-fanout")
+	for _, fn := range fns {
+		fn := fn
+		fs.m.Eng.Go("kvfs-io", func(pp *sim.Proc) {
+			fn(pp)
+			remaining--
+			if remaining == 0 {
+				done.Broadcast()
+			}
+		})
+	}
+	for remaining > 0 {
+		done.Wait(p)
+	}
+}
+
+// Write stores data at offset off. Small files (final size <= 8 KB) live in
+// a single small-file KV that is rewritten whole on every update; once a
+// file grows past 8 KB it migrates to the big-file representation, where
+// updates are written in place at 8 KB block granularity (§3.4).
+func (fs *FS) Write(p *sim.Proc, ino uint64, off uint64, data []byte) error {
+	fs.charge(p)
+	a, ok := fs.getAttr(p, ino)
+	if !ok {
+		return ErrNotFound
+	}
+	if a.Mode == ModeDir {
+		return ErrIsDir
+	}
+	newSize := a.Size
+	if end := off + uint64(len(data)); end > newSize {
+		newSize = end
+	}
+
+	switch {
+	case newSize <= SmallFileMax:
+		// Small file: read-modify-write the whole KV.
+		var cur []byte
+		if a.Size > 0 {
+			cur, _ = fs.cl.Get(p, SmallKey(ino))
+		}
+		buf := make([]byte, newSize)
+		copy(buf, cur)
+		copy(buf[off:], data)
+		fs.cl.Put(p, SmallKey(ino), buf)
+
+	case a.Size <= SmallFileMax && a.Size > 0:
+		// Migration: the file just outgrew the small representation.
+		cur, _ := fs.cl.Get(p, SmallKey(ino))
+		fs.cl.Delete(p, SmallKey(ino))
+		if err := fs.writeBigBlocks(p, ino, 0, cur); err != nil {
+			return err
+		}
+		if err := fs.writeBigBlocks(p, ino, off, data); err != nil {
+			return err
+		}
+
+	default:
+		if err := fs.writeBigBlocks(p, ino, off, data); err != nil {
+			return err
+		}
+	}
+
+	if newSize != a.Size {
+		a.Size = newSize
+		a.Blocks = (newSize + BlockSize - 1) / BlockSize
+		fs.putAttr(p, a)
+	}
+	return nil
+}
+
+// writeBigBlocks updates the big-file KVs covering [off, off+len(data)).
+// Full-block updates are pure in-place puts; partial blocks read-modify-
+// write.
+func (fs *FS) writeBigBlocks(p *sim.Proc, ino uint64, off uint64, data []byte) error {
+	var fns []func(pp *sim.Proc)
+	for done := 0; done < len(data); {
+		blk := (off + uint64(done)) / BlockSize
+		bo := int((off + uint64(done)) % BlockSize)
+		n := BlockSize - bo
+		if n > len(data)-done {
+			n = len(data) - done
+		}
+		chunk := data[done : done+n]
+		fns = append(fns, func(pp *sim.Proc) {
+			if bo == 0 && len(chunk) == BlockSize {
+				fs.cl.Put(pp, BigKey(ino, blk), fs.encodeBlock(pp, chunk))
+			} else {
+				buf := make([]byte, BlockSize)
+				if cur, ok := fs.cl.Get(pp, BigKey(ino, blk)); ok {
+					if dec, err := fs.decodeBlock(pp, cur); err == nil {
+						copy(buf, dec)
+					}
+				}
+				copy(buf[bo:], chunk)
+				fs.cl.Put(pp, BigKey(ino, blk), fs.encodeBlock(pp, buf))
+			}
+		})
+		done += n
+	}
+	fs.fanout(p, fns)
+	return nil
+}
+
+// Read returns up to n bytes from offset off.
+func (fs *FS) Read(p *sim.Proc, ino uint64, off uint64, n int) ([]byte, error) {
+	fs.charge(p)
+	a, ok := fs.getAttr(p, ino)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if a.Mode == ModeDir {
+		return nil, ErrIsDir
+	}
+	if off >= a.Size {
+		return nil, nil
+	}
+	if max := a.Size - off; uint64(n) > max {
+		n = int(max)
+	}
+	if a.Size <= SmallFileMax {
+		cur, ok := fs.cl.Get(p, SmallKey(ino))
+		if !ok || off >= uint64(len(cur)) {
+			return nil, nil
+		}
+		end := off + uint64(n)
+		if end > uint64(len(cur)) {
+			end = uint64(len(cur))
+		}
+		return append([]byte(nil), cur[off:end]...), nil
+	}
+	out := make([]byte, n)
+	var fns []func(pp *sim.Proc)
+	var decodeErr error
+	for done := 0; done < n; {
+		blk := (off + uint64(done)) / BlockSize
+		bo := int((off + uint64(done)) % BlockSize)
+		k := BlockSize - bo
+		if k > n-done {
+			k = n - done
+		}
+		dst := out[done : done+k]
+		fns = append(fns, func(pp *sim.Proc) {
+			cur, ok := fs.cl.Get(pp, BigKey(ino, blk))
+			if !ok {
+				return
+			}
+			dec, err := fs.decodeBlock(pp, cur)
+			if err != nil {
+				decodeErr = ErrCorrupt
+				return
+			}
+			if bo < len(dec) {
+				copy(dst, dec[bo:])
+			}
+		})
+		done += k
+	}
+	fs.fanout(p, fns)
+	if decodeErr != nil {
+		return nil, decodeErr
+	}
+	return out, nil
+}
+
+// ---- cache.Backend adapter ----
+
+// PageBackend adapts one KVFS file-system instance to the hybrid cache's
+// Backend interface. Pages are addressed by (ino, lpn) with lpn in units of
+// the cache's page size.
+type PageBackend struct {
+	FS *FS
+}
+
+// ReadPage implements cache.Backend.
+func (b PageBackend) ReadPage(p *sim.Proc, ino, lpn uint64, pageSize int) ([]byte, bool) {
+	a, ok := b.FS.getAttr(p, ino)
+	if !ok {
+		return nil, false
+	}
+	off := lpn * uint64(pageSize)
+	if off >= a.Size {
+		return nil, false
+	}
+	data, err := b.FS.Read(p, ino, off, pageSize)
+	if err != nil || data == nil {
+		return nil, false
+	}
+	if len(data) < pageSize {
+		data = append(data, make([]byte, pageSize-len(data))...)
+	}
+	return data, true
+}
+
+// WritePage implements cache.Backend.
+func (b PageBackend) WritePage(p *sim.Proc, ino, lpn uint64, data []byte) {
+	_ = b.FS.Write(p, ino, lpn*uint64(len(data)), data)
+}
+
+// ReadPageRange implements cache.RangeBackend: the whole run is one KVFS
+// read (one op charge, block gets fanned out in parallel).
+func (b PageBackend) ReadPageRange(p *sim.Proc, ino, lpn uint64, n, pageSize int) [][]byte {
+	a, ok := b.FS.getAttr(p, ino)
+	if !ok {
+		return nil
+	}
+	off := lpn * uint64(pageSize)
+	if off >= a.Size {
+		return nil
+	}
+	data, err := b.FS.Read(p, ino, off, n*pageSize)
+	if err != nil || data == nil {
+		return nil
+	}
+	out := make([][]byte, 0, n)
+	for i := 0; i < n && i*pageSize < len(data); i++ {
+		end := (i + 1) * pageSize
+		pg := make([]byte, pageSize)
+		if end > len(data) {
+			end = len(data)
+		}
+		copy(pg, data[i*pageSize:end])
+		out = append(out, pg)
+	}
+	return out
+}

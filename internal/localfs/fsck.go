@@ -1,0 +1,164 @@
+package localfs
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// FsckReport summarizes a consistency check.
+type FsckReport struct {
+	Inodes      int
+	Directories int
+	Files       int
+	UsedBlocks  int
+	Problems    []string
+}
+
+// OK reports whether the check found no inconsistencies.
+func (r *FsckReport) OK() bool { return len(r.Problems) == 0 }
+
+func (r *FsckReport) problemf(format string, args ...any) {
+	r.Problems = append(r.Problems, fmt.Sprintf(format, args...))
+}
+
+// Fsck walks the file system's metadata and cross-checks it, the way a real
+// fsck does:
+//
+//   - the superblock magic is intact;
+//   - every directory entry references a live inode, and the on-disk dirent
+//     records agree with the in-memory dcache;
+//   - every block referenced by an inode is marked used in the bitmap and
+//     referenced exactly once;
+//   - the free-block account matches the bitmap.
+//
+// It reads metadata raw (no virtual-time charge): fsck is an offline tool.
+func (fs *FS) Fsck() *FsckReport {
+	r := &FsckReport{}
+
+	// Superblock.
+	if got := binary.LittleEndian.Uint32(fs.dev.ReadRaw(0, 4)); got != magic {
+		r.problemf("superblock magic %#x, want %#x", got, magic)
+	}
+
+	// Walk the namespace from the root.
+	seenIno := map[uint64]bool{}
+	blockOwner := map[int64]uint64{}
+	var walk func(dirIno uint64, path string)
+	walk = func(dirIno uint64, path string) {
+		if seenIno[dirIno] {
+			r.problemf("directory cycle at %q (ino %d)", path, dirIno)
+			return
+		}
+		seenIno[dirIno] = true
+		r.Inodes++
+		r.Directories++
+		ind, ok := fs.inodes[dirIno]
+		if !ok {
+			r.problemf("directory %q references missing inode %d", path, dirIno)
+			return
+		}
+		if ind.Mode != ModeDir {
+			r.problemf("%q (ino %d) in dcache as directory but mode=%d", path, dirIno, ind.Mode)
+			return
+		}
+		// On-disk dirents must agree with the dcache.
+		onDisk := fs.loadDir(dirIno)
+		inMem := fs.dirOf(dirIno).entries
+		if len(onDisk) != len(inMem) {
+			r.problemf("%q: %d dirents on disk, %d in dcache", path, len(onDisk), len(inMem))
+		}
+		for name, ino := range inMem {
+			if onDisk[name] != ino {
+				r.problemf("%q/%s: on-disk ino %d != dcache ino %d", path, name, onDisk[name], ino)
+			}
+			child, ok := fs.inodes[ino]
+			if !ok {
+				r.problemf("%q/%s references missing inode %d", path, name, ino)
+				continue
+			}
+			if child.Mode == ModeDir {
+				walk(ino, path+"/"+name)
+			} else {
+				if seenIno[ino] {
+					r.problemf("file inode %d linked twice (at %q/%s)", ino, path, name)
+					continue
+				}
+				seenIno[ino] = true
+				r.Inodes++
+				r.Files++
+				fs.checkFileBlocks(r, ino, child, blockOwner)
+			}
+		}
+	}
+	walk(rootIno, "")
+
+	// Directory data blocks also occupy the bitmap.
+	for ino := range seenIno {
+		if ind := fs.inodes[ino]; ind != nil && ind.Mode == ModeDir {
+			fs.checkFileBlocks(r, ino, ind, blockOwner)
+		}
+	}
+
+	// Bitmap cross-check: every owned block is marked used.
+	for blk := range blockOwner {
+		if !fs.bitGet(blk) {
+			r.problemf("block %d referenced but free in bitmap", blk)
+		}
+	}
+	r.UsedBlocks = len(blockOwner)
+
+	// Free-count accounting: used + free == data capacity (the last block
+	// is the journal area, outside the allocator).
+	marked := int64(0)
+	for b := fs.dataStart; b < fs.totalBlocks-1; b++ {
+		if fs.bitGet(b) {
+			marked++
+		}
+	}
+	if marked+fs.freeBlks != fs.totalBlocks-1-fs.dataStart {
+		r.problemf("bitmap accounts %d used + %d free != %d data blocks",
+			marked, fs.freeBlks, fs.totalBlocks-1-fs.dataStart)
+	}
+	return r
+}
+
+// checkFileBlocks verifies a file's block map: every mapped block in range,
+// used in the bitmap, and owned by exactly one inode.
+func (fs *FS) checkFileBlocks(r *FsckReport, ino uint64, ind *inode, owner map[int64]uint64) {
+	pages := int64(0)
+	if ind.Size > 0 {
+		pages = int64(ind.Size+BlockSize-1) / BlockSize
+	}
+	for pg := int64(0); pg < pages; pg++ {
+		blk, err := fs.blockOf(ind, pg, false)
+		if err != nil {
+			r.problemf("ino %d page %d: map error %v", ino, pg, err)
+			continue
+		}
+		if blk == 0 {
+			continue // sparse hole
+		}
+		if blk < fs.dataStart || blk >= fs.totalBlocks {
+			r.problemf("ino %d page %d maps outside the data area (block %d)", ino, pg, blk)
+			continue
+		}
+		if prev, dup := owner[blk]; dup {
+			r.problemf("block %d owned by both ino %d and ino %d", blk, prev, ino)
+			continue
+		}
+		owner[blk] = ino
+	}
+	// Indirect map blocks are used too.
+	if ind.Indirect != 0 {
+		owner[int64(ind.Indirect)] = ino
+	}
+	if ind.DIndir != 0 {
+		owner[int64(ind.DIndir)] = ino
+		for slot := int64(0); slot < ptrsPerBlock; slot++ {
+			l1 := binary.LittleEndian.Uint32(fs.dev.ReadRaw(int64(ind.DIndir)*BlockSize+slot*4, 4))
+			if l1 != 0 {
+				owner[int64(l1)] = ino
+			}
+		}
+	}
+}

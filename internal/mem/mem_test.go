@@ -1,0 +1,156 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegionBounds(t *testing.T) {
+	r := NewRegion("test", 0x1000, 256)
+	if r.Base() != 0x1000 || r.Size() != 256 || r.End() != 0x1100 {
+		t.Fatalf("geometry: base=%#x size=%d end=%#x", r.Base(), r.Size(), r.End())
+	}
+	if !r.Contains(0x1000, 256) {
+		t.Fatal("full-region access should be in bounds")
+	}
+	if r.Contains(0x0fff, 1) || r.Contains(0x1100, 1) || r.Contains(0x10ff, 2) {
+		t.Fatal("out-of-bounds access reported as contained")
+	}
+}
+
+func TestRegionOutOfBoundsPanics(t *testing.T) {
+	r := NewRegion("test", 0x1000, 16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds access did not panic")
+		}
+	}()
+	r.Read(0x100f, 2)
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	r := NewRegion("test", 0, 64)
+	data := []byte("hello, dma world")
+	r.Write(8, data)
+	got := r.Read(8, len(data))
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip = %q", got)
+	}
+	// Slice aliases the backing store.
+	r.Slice(8, 5)[0] = 'H'
+	if r.Read(8, 1)[0] != 'H' {
+		t.Fatal("Slice does not alias region")
+	}
+	r.Zero(8, len(data))
+	for _, b := range r.Read(8, len(data)) {
+		if b != 0 {
+			t.Fatal("Zero did not clear bytes")
+		}
+	}
+}
+
+func TestTypedAccessorsLittleEndian(t *testing.T) {
+	r := NewRegion("test", 0, 32)
+	r.PutUint32(0, 0x11223344)
+	if got := r.Read(0, 4); got[0] != 0x44 || got[3] != 0x11 {
+		t.Fatalf("uint32 not little-endian: % x", got)
+	}
+	if r.Uint32(0) != 0x11223344 {
+		t.Fatalf("Uint32 = %#x", r.Uint32(0))
+	}
+	r.PutUint64(8, 0x1122334455667788)
+	if r.Uint64(8) != 0x1122334455667788 {
+		t.Fatalf("Uint64 = %#x", r.Uint64(8))
+	}
+	r.PutUint16(20, 0xBEEF)
+	if r.Uint16(20) != 0xBEEF {
+		t.Fatalf("Uint16 = %#x", r.Uint16(20))
+	}
+	if got := r.Read(20, 2); got[0] != 0xEF || got[1] != 0xBE {
+		t.Fatalf("uint16 not little-endian: % x", got)
+	}
+}
+
+func TestCompareAndSwap(t *testing.T) {
+	r := NewRegion("test", 0, 8)
+	r.PutUint32(0, 5)
+	if r.CompareAndSwap32(0, 4, 9) {
+		t.Fatal("CAS with wrong old value succeeded")
+	}
+	if !r.CompareAndSwap32(0, 5, 9) {
+		t.Fatal("CAS with right old value failed")
+	}
+	if r.Uint32(0) != 9 {
+		t.Fatalf("value after CAS = %d", r.Uint32(0))
+	}
+}
+
+func TestFetchAdd(t *testing.T) {
+	r := NewRegion("test", 0, 8)
+	r.PutUint32(0, 10)
+	if prev := r.FetchAdd32(0, 5); prev != 10 {
+		t.Fatalf("FetchAdd returned %d, want 10", prev)
+	}
+	if r.Uint32(0) != 15 {
+		t.Fatalf("value = %d, want 15", r.Uint32(0))
+	}
+}
+
+func TestPageAllocator(t *testing.T) {
+	r := NewRegion("pages", 0x10000, 4096*4)
+	a := NewPageAllocator(r, 4096)
+	if a.FreePages() != 4 {
+		t.Fatalf("FreePages = %d, want 4", a.FreePages())
+	}
+	var pages []Addr
+	for i := 0; i < 4; i++ {
+		p, ok := a.Alloc()
+		if !ok {
+			t.Fatalf("alloc %d failed", i)
+		}
+		if (p-r.Base())%4096 != 0 {
+			t.Fatalf("page %#x not aligned", uint64(p))
+		}
+		pages = append(pages, p)
+	}
+	if _, ok := a.Alloc(); ok {
+		t.Fatal("alloc beyond capacity succeeded")
+	}
+	a.Free(pages[2])
+	p, ok := a.Alloc()
+	if !ok || p != pages[2] {
+		t.Fatalf("recycled page = %#x, want %#x", uint64(p), uint64(pages[2]))
+	}
+}
+
+// Property: distinct allocated pages never overlap.
+func TestPageAllocatorNoOverlapProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		r := NewRegion("p", 0, 4096*16)
+		a := NewPageAllocator(r, 4096)
+		held := map[Addr]bool{}
+		for _, alloc := range ops {
+			if alloc || len(held) == 0 {
+				p, ok := a.Alloc()
+				if !ok {
+					continue
+				}
+				if held[p] {
+					return false // double allocation
+				}
+				held[p] = true
+			} else {
+				for p := range held {
+					delete(held, p)
+					a.Free(p)
+					break
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,241 @@
+// Package model centralizes the simulated testbed configuration (the
+// paper's Table 1) and the software-path cost constants used to calibrate
+// the simulation. Every experiment builds its world from a model.Config so
+// that all tuning lives in one place.
+package model
+
+import (
+	"fmt"
+	"time"
+
+	"dpc/internal/cpu"
+	"dpc/internal/fabric"
+	"dpc/internal/mem"
+	"dpc/internal/pcie"
+	"dpc/internal/sim"
+	"dpc/internal/ssd"
+)
+
+// Costs holds per-operation software costs, charged in CPU cycles to the
+// pool executing the code path. Cycle counts are calibrated so the
+// single-thread latencies land near the paper's reported points.
+type Costs struct {
+	// Host kernel / fs-adapter path (nvme-fs).
+	HostSyscall     int64 // VFS entry/exit, fd lookup
+	HostSubmit      int64 // fs-adapter request conversion + SQE build
+	HostComplete    int64 // CQ reap, wakeup, copyout
+	HostCacheLookup int64 // hybrid-cache hash probe on the host
+	HostCopyPerPage int64 // memcpy of one 4 KB page
+
+	// Host FUSE path (virtio-fs baseline). FUSE requests take the bloated
+	// queue path the paper complains about.
+	HostFUSEEncode int64
+	HostFUSEQueue  int64
+
+	// DPU-side costs.
+	DPUCmdParse     int64 // NVME-TGT SQE parse + dispatch
+	DPUVirtClient   int64 // in-memory virtual client respond (§4.1 setup)
+	DPUHALProcess   int64 // DPFS-HAL virtio descriptor walk bookkeeping
+	DPUKVFSOp       int64 // KVFS request handling (excl. KV backend time)
+	DPUCacheCtl     int64 // cache control-plane decision
+	DPUDFSClient    int64 // offloaded DFS client logic per op
+	ECCyclesPerByte int64 // Reed-Solomon encode cost per payload byte
+	DPUFlushPage    int64 // per-page flush handling
+
+	// Backend server costs.
+	MDSProcess  int64 // metadata server request handling
+	DataProcess int64 // data server request handling
+	KVServerOp  int64 // KV storage node op handling
+
+	// Polling/notification latencies.
+	TGTPollDelay   time.Duration // DPU notices a new SQE after doorbell
+	HostIRQDelay   time.Duration // host notices a new CQE
+	HALPollDelay   time.Duration // DPFS-HAL thread notices virtio avail
+	FlushInterval  time.Duration // hybrid-cache flush daemon period
+	HostFUSEWakeup time.Duration // FUSE daemon wakeup latency
+}
+
+// Config describes the whole simulated testbed.
+type Config struct {
+	Seed int64
+
+	// Host: Intel Xeon Gold 6230R, 26 physical cores / 52 threads, 2.1 GHz.
+	HostCores  int
+	HostFreqHz int64
+
+	// DPU: Huawei QingTian, 24 TaiShan cores @ 2.0 GHz, 32 GB DRAM.
+	DPUCores  int
+	DPUFreqHz int64
+	// DPUSwitch is the scheduling overhead per op once the DPU run queue
+	// is oversubscribed (the paper's >32-thread degradation).
+	DPUSwitch time.Duration
+	// HostSwitch is the same for host threads.
+	HostSwitch time.Duration
+
+	PCIe pcie.Config
+	SSD  ssd.Config
+	Net  fabric.Config
+
+	// HostMemMB is the size of the simulated host memory arena used for
+	// rings and the hybrid cache data plane.
+	HostMemMB int
+	// DPUMemMB is DPU DRAM (bounded; motivates the hybrid cache).
+	DPUMemMB int
+
+	Costs Costs
+}
+
+// Default returns the Table 1 testbed with calibrated cost constants.
+func Default() Config {
+	return Config{
+		Seed:       1,
+		HostCores:  52,
+		HostFreqHz: 2_100_000_000,
+		DPUCores:   24,
+		DPUFreqHz:  2_000_000_000,
+		DPUSwitch:  2 * time.Microsecond,
+		HostSwitch: 1 * time.Microsecond,
+		PCIe:       pcie.DefaultConfig(),
+		SSD:        ssd.DefaultConfig(),
+		Net:        fabric.DefaultConfig(),
+		// Arena sizes are kept modest: regions are contiguous Go slices and
+		// the experiments only need rings plus the hybrid-cache space.
+		HostMemMB: 160,
+		DPUMemMB:  48,
+		Costs: Costs{
+			HostSyscall:     5000,
+			HostSubmit:      1800,
+			HostComplete:    9000,
+			HostCacheLookup: 700,
+			HostCopyPerPage: 600,
+
+			HostFUSEEncode: 12000,
+			HostFUSEQueue:  8000,
+
+			DPUCmdParse:     5000,
+			DPUVirtClient:   1000,
+			DPUHALProcess:   4500,
+			DPUKVFSOp:       60000,
+			DPUCacheCtl:     1400,
+			DPUDFSClient:    12000,
+			ECCyclesPerByte: 4,
+			DPUFlushPage:    2500,
+
+			MDSProcess:  9000,
+			DataProcess: 7000,
+			KVServerOp:  5200,
+
+			TGTPollDelay:   3 * time.Microsecond,
+			HostIRQDelay:   2500 * time.Nanosecond,
+			HALPollDelay:   6 * time.Microsecond,
+			FlushInterval:  2 * time.Millisecond,
+			HostFUSEWakeup: 4 * time.Microsecond,
+		},
+	}
+}
+
+// Machine is an assembled application server: host CPU, DPU, the PCIe link
+// between them, a host memory arena and the datacenter network.
+type Machine struct {
+	Cfg     Config
+	Eng     *sim.Engine
+	HostCPU *cpu.Pool
+	DPUCPU  *cpu.Pool
+	PCIe    *pcie.Link
+	HostMem *mem.Region
+	DPUMem  *mem.Region
+	Net     *fabric.Network
+	// HostNode and DPUNode are the machine's network endpoints. In the
+	// diskless architecture only the DPU talks to disaggregated storage;
+	// host-side baseline clients use HostNode.
+	HostNode *fabric.Node
+	DPUNode  *fabric.Node
+
+	hostBump mem.Addr
+	dpuBump  mem.Addr
+}
+
+// NewMachine assembles a machine from the config.
+func NewMachine(cfg Config) *Machine {
+	eng := sim.NewEngine(cfg.Seed)
+	hostCPU := cpu.NewPool(eng, "host-cpu", cfg.HostCores, cfg.HostFreqHz)
+	hostCPU.SwitchOverhead = cfg.HostSwitch
+	dpuCPU := cpu.NewPool(eng, "dpu-cpu", cfg.DPUCores, cfg.DPUFreqHz)
+	dpuCPU.SwitchOverhead = cfg.DPUSwitch
+	hostMem := mem.NewRegion("host-dram", 0x1000_0000, cfg.HostMemMB*1024*1024)
+	dpuMem := mem.NewRegion("dpu-dram", 0x8_0000_0000, cfg.DPUMemMB*1024*1024)
+	net := fabric.NewNetwork(eng, cfg.Net)
+	m := &Machine{
+		Cfg:      cfg,
+		Eng:      eng,
+		HostCPU:  hostCPU,
+		DPUCPU:   dpuCPU,
+		PCIe:     pcie.NewLink(eng, cfg.PCIe),
+		HostMem:  hostMem,
+		DPUMem:   dpuMem,
+		Net:      net,
+		HostNode: net.NewNode("host"),
+		DPUNode:  net.NewNode("dpu"),
+		hostBump: hostMem.Base(),
+		dpuBump:  dpuMem.Base(),
+	}
+	return m
+}
+
+// AllocHost reserves size bytes of host memory, aligned to align (a power of
+// two), and returns its address. Panics when the arena is exhausted: the
+// experiments size HostMemMB generously.
+func (m *Machine) AllocHost(size int, align int) mem.Addr {
+	return allocBump(&m.hostBump, m.HostMem, size, align)
+}
+
+// AllocDPU reserves size bytes of DPU DRAM.
+func (m *Machine) AllocDPU(size int, align int) mem.Addr {
+	return allocBump(&m.dpuBump, m.DPUMem, size, align)
+}
+
+func allocBump(bump *mem.Addr, r *mem.Region, size, align int) mem.Addr {
+	if align <= 0 {
+		align = 1
+	}
+	a := uint64(*bump)
+	a = (a + uint64(align) - 1) &^ (uint64(align) - 1)
+	addr := mem.Addr(a)
+	if !r.Contains(addr, size) {
+		panic(fmt.Sprintf("model: arena %q exhausted allocating %d bytes", r.Name(), size))
+	}
+	*bump = addr + mem.Addr(size)
+	return addr
+}
+
+// NewSSD attaches a local NVMe SSD to the machine (the Ext4 baseline's disk).
+func (m *Machine) NewSSD() *ssd.Device {
+	return ssd.New(m.Eng, m.Cfg.SSD)
+}
+
+// HostExec charges cycles to the host CPU.
+func (m *Machine) HostExec(p *sim.Proc, cycles int64) { m.HostCPU.Exec(p, cycles) }
+
+// DPUExec charges cycles to the DPU CPU.
+func (m *Machine) DPUExec(p *sim.Proc, cycles int64) { m.DPUCPU.Exec(p, cycles) }
+
+// EnvString renders the testbed like the paper's Table 1.
+func (m *Machine) EnvString() string {
+	c := m.Cfg
+	return fmt.Sprintf(`Component | Description
+----------+------------------------------------------------------------
+CPU       | simulated host, %d hardware threads @ %.1f GHz
+Memory    | %d MB simulated host DRAM arena
+DPU       | simulated QingTian-class DPU, %d cores @ %.1f GHz, %d MB DRAM
+PCIe      | %.1f GB/s payload, %v DMA setup, %d engines
+NVMe SSD  | %v read / %v write, %.1f/%.1f GB/s, %d channels
+Network   | %.1f GB/s NIC, %v one-way delay
+`,
+		c.HostCores, float64(c.HostFreqHz)/1e9,
+		c.HostMemMB,
+		c.DPUCores, float64(c.DPUFreqHz)/1e9, c.DPUMemMB,
+		float64(c.PCIe.BandwidthBps)/1e9, c.PCIe.DMASetup, c.PCIe.Engines,
+		c.SSD.ReadLatency, c.SSD.WriteLatency,
+		float64(c.SSD.ReadBps)/1e9, float64(c.SSD.WriteBps)/1e9, c.SSD.Channels,
+		float64(c.Net.NICBps)/1e9, c.Net.PropDelay)
+}

@@ -1,0 +1,73 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultConfigSane(t *testing.T) {
+	c := Default()
+	if c.HostCores != 52 || c.DPUCores != 24 {
+		t.Fatalf("core counts host=%d dpu=%d", c.HostCores, c.DPUCores)
+	}
+	if c.DPUFreqHz != 2_000_000_000 {
+		t.Fatalf("DPU freq = %d", c.DPUFreqHz)
+	}
+	if c.Costs.TGTPollDelay <= 0 || c.Costs.FlushInterval <= 0 {
+		t.Fatal("polling delays must be positive")
+	}
+}
+
+func TestMachineAssembly(t *testing.T) {
+	m := NewMachine(Default())
+	if m.HostCPU.Cores() != 52 || m.DPUCPU.Cores() != 24 {
+		t.Fatal("CPU pools wrong size")
+	}
+	if m.HostMem.Size() != Default().HostMemMB*1024*1024 {
+		t.Fatalf("host mem = %d", m.HostMem.Size())
+	}
+	if m.HostNode.Name() != "host" || m.DPUNode.Name() != "dpu" {
+		t.Fatal("network nodes not created")
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	m := NewMachine(Default())
+	a := m.AllocHost(100, 64)
+	if uint64(a)%64 != 0 {
+		t.Fatalf("alloc %#x not 64-aligned", uint64(a))
+	}
+	b := m.AllocHost(8, 4096)
+	if uint64(b)%4096 != 0 {
+		t.Fatalf("alloc %#x not page-aligned", uint64(b))
+	}
+	if b <= a {
+		t.Fatal("bump allocator went backwards")
+	}
+	d := m.AllocDPU(1024, 8)
+	if !m.DPUMem.Contains(d, 1024) {
+		t.Fatal("DPU alloc outside DPU DRAM")
+	}
+}
+
+func TestAllocExhaustionPanics(t *testing.T) {
+	cfg := Default()
+	cfg.HostMemMB = 1
+	m := NewMachine(cfg)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arena exhaustion did not panic")
+		}
+	}()
+	m.AllocHost(2*1024*1024, 1)
+}
+
+func TestEnvString(t *testing.T) {
+	m := NewMachine(Default())
+	s := m.EnvString()
+	for _, want := range []string{"DPU", "24 cores", "NVMe SSD", "PCIe"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("EnvString missing %q:\n%s", want, s)
+		}
+	}
+}

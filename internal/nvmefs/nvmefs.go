@@ -1,0 +1,377 @@
+// Package nvmefs implements nvme-fs, the paper's NVMe-based file protocol
+// for DPU-offloaded file system stacks (§3.2).
+//
+// The host-side NVME-INI driver produces 64-byte bidirectional SQEs (vendor
+// opcode 0xA3) at the tail of a submission queue and rings a doorbell; a
+// per-queue NVME-TGT thread on the DPU consumes them. An 8 KB write costs
+// exactly 4 DMAs (Figure 4): ① SQE fetch, ② PRP/buffer-descriptor fetch,
+// ③ payload read, ④ CQE write. Unlike the virtio-fs baseline, nvme-fs is
+// multi-queue: one TGT thread per queue, so throughput scales with queues.
+//
+// File-semantic request headers ride at the head of the write buffer
+// (WH_len) and response headers at the head of the read buffer (RH_len),
+// giving bidirectional semantics within a single command.
+package nvmefs
+
+import (
+	"fmt"
+
+	"dpc/internal/mem"
+	"dpc/internal/model"
+	"dpc/internal/nvme"
+	"dpc/internal/sim"
+)
+
+// Request is a decoded command as seen by the DPU-side handler.
+type Request struct {
+	QID    int
+	SQE    nvme.SQE
+	Header []byte // WH_len request header bytes
+	Data   []byte // write payload after the header
+}
+
+// Response is the handler's reply. Header must be at most the RHLen the
+// submitter reserved; Data at most ReadLen-RHLen.
+type Response struct {
+	Status uint16
+	Result uint32
+	Header []byte
+	Data   []byte
+}
+
+// Handler executes a request on the DPU (the IO_Dispatch module and the
+// stacks behind it).
+type Handler func(p *sim.Proc, req Request) Response
+
+// Config sizes the driver.
+type Config struct {
+	Queues    int // SQ/CQ pairs, each with its own TGT thread
+	Depth     int // entries per queue
+	SlotsPerQ int // concurrent request buffers per queue
+	MaxIO     int // largest payload per request
+	RHCap     int // response header capacity per request
+}
+
+// DefaultConfig suits small-I/O experiments: 32 queues so application
+// threads spread widely, with enough buffer slots for deep concurrency.
+func DefaultConfig() Config {
+	return Config{Queues: 32, Depth: 64, SlotsPerQ: 16, MaxIO: 64 * 1024, RHCap: 256}
+}
+
+// Submission is the host-side request.
+type Submission struct {
+	FileOp   uint32
+	Dispatch uint8 // nvme.DispatchKVFS or nvme.DispatchDFS
+	DW12     uint32
+	Header   []byte // request header (becomes WH)
+	Payload  []byte // write payload
+	ReadLen  int    // response payload bytes expected (data after header)
+	RHLen    int    // response header bytes expected
+}
+
+// Completion is the host-side result.
+type Completion struct {
+	Status uint16
+	Result uint32
+	Header []byte
+	Data   []byte
+}
+
+// OK reports whether the command succeeded.
+func (c Completion) OK() bool { return c.Status == nvme.StatusOK }
+
+type pendingCmd struct {
+	cond *sim.Cond
+	done bool
+	cqe  nvme.CQE
+}
+
+type queueState struct {
+	qp       *nvme.QueuePair
+	doorbell mem.Addr
+	kick     *sim.Mailbox[struct{}]
+
+	slabBase mem.Addr
+	wStride  int
+	rStride  int
+
+	freeSlots []int
+	slotCond  *sim.Cond
+	sqCond    *sim.Cond
+
+	pending map[uint16]*pendingCmd // by CID
+	slotOf  map[uint16]int
+	subOf   map[uint16]*Submission
+	freeCID []uint16
+}
+
+// Driver is the assembled nvme-fs stack: NVME-INI on the host, NVME-TGT
+// threads on the DPU, and the handler behind them.
+type Driver struct {
+	m       *model.Machine
+	cfg     Config
+	handler Handler
+	queues  []*queueState
+
+	// Completed counts finished commands.
+	Completed int64
+}
+
+// NewDriver lays out the queues and buffers and starts one TGT thread per
+// queue.
+func NewDriver(m *model.Machine, cfg Config, handler Handler) *Driver {
+	if cfg.Queues < 1 || cfg.Depth < 2 || cfg.SlotsPerQ < 1 || cfg.MaxIO < 512 || cfg.RHCap < 16 {
+		panic(fmt.Sprintf("nvmefs: bad config %+v", cfg))
+	}
+	d := &Driver{m: m, cfg: cfg, handler: handler}
+	for qid := 0; qid < cfg.Queues; qid++ {
+		sqBase := m.AllocHost(cfg.Depth*nvme.SQESize, 4096)
+		cqBase := m.AllocHost(cfg.Depth*nvme.CQESize, 4096)
+		qs := &queueState{
+			qp:       nvme.NewQueuePair(qid, sqBase, cqBase, cfg.Depth),
+			doorbell: m.AllocDPU(8, 8),
+			kick:     sim.NewMailbox[struct{}](m.Eng, fmt.Sprintf("nvme-kick-%d", qid), 1),
+			slotCond: sim.NewCond(m.Eng, "nvme-slots"),
+			sqCond:   sim.NewCond(m.Eng, "nvme-sq"),
+			pending:  map[uint16]*pendingCmd{},
+			slotOf:   map[uint16]int{},
+			subOf:    map[uint16]*Submission{},
+			wStride:  64 + cfg.MaxIO,
+			rStride:  cfg.RHCap + cfg.MaxIO,
+		}
+		qs.slabBase = m.AllocHost(cfg.SlotsPerQ*(qs.wStride+qs.rStride), 4096)
+		for i := cfg.SlotsPerQ - 1; i >= 0; i-- {
+			qs.freeSlots = append(qs.freeSlots, i)
+		}
+		for c := cfg.Depth - 1; c >= 0; c-- {
+			qs.freeCID = append(qs.freeCID, uint16(c))
+		}
+		d.queues = append(d.queues, qs)
+		m.Eng.Go(fmt.Sprintf("nvme-tgt-%d", qid), func(p *sim.Proc) { d.tgtLoop(p, qs) })
+	}
+	return d
+}
+
+// Queues returns the number of queue pairs.
+func (d *Driver) Queues() int { return d.cfg.Queues }
+
+// MaxIO returns the largest payload a single command may carry.
+func (d *Driver) MaxIO() int { return d.cfg.MaxIO }
+
+func (qs *queueState) slotBufs(slot int) (wbuf, rbuf mem.Addr) {
+	b := qs.slabBase + mem.Addr(slot*(qs.wStride+qs.rStride))
+	return b, b + mem.Addr(qs.wStride)
+}
+
+// Submit runs one command on queue qid (callers typically pin a thread to a
+// queue) and blocks until completion.
+func (d *Driver) Submit(p *sim.Proc, qid int, sub Submission) Completion {
+	costs := d.m.Cfg.Costs
+	qs := d.queues[qid%len(d.queues)]
+	if len(sub.Payload) > d.cfg.MaxIO || sub.ReadLen > d.cfg.MaxIO {
+		panic(fmt.Sprintf("nvmefs: payload %d / readlen %d exceed MaxIO %d",
+			len(sub.Payload), sub.ReadLen, d.cfg.MaxIO))
+	}
+	if len(sub.Header) > 64 || sub.RHLen > d.cfg.RHCap {
+		panic(fmt.Sprintf("nvmefs: header %d / rhlen %d exceed caps", len(sub.Header), sub.RHLen))
+	}
+
+	// Syscall + fs-adapter conversion. No FUSE layer, no payload copy: the
+	// PRP points straight at the request buffer.
+	d.m.HostExec(p, costs.HostSyscall+costs.HostSubmit)
+
+	// Acquire a buffer slot and a CID, then an SQ slot.
+	for len(qs.freeSlots) == 0 || len(qs.freeCID) == 0 {
+		qs.slotCond.Wait(p)
+	}
+	slot := qs.freeSlots[len(qs.freeSlots)-1]
+	qs.freeSlots = qs.freeSlots[:len(qs.freeSlots)-1]
+	cid := qs.freeCID[len(qs.freeCID)-1]
+	qs.freeCID = qs.freeCID[:len(qs.freeCID)-1]
+
+	wbuf, rbuf := qs.slotBufs(slot)
+	// Place the file-semantic header and payload in the write buffer.
+	d.m.HostMem.Write(wbuf, sub.Header)
+	if len(sub.Payload) > 0 {
+		d.m.HostMem.Write(wbuf+64, sub.Payload)
+	}
+
+	writeLen := 0
+	if len(sub.Header) > 0 || len(sub.Payload) > 0 {
+		writeLen = 64 + len(sub.Payload)
+	}
+	readLen := 0
+	if sub.RHLen > 0 || sub.ReadLen > 0 {
+		readLen = d.cfg.RHCap + sub.ReadLen
+	}
+
+	sqe := nvme.SQE{
+		Opcode:   nvme.OpcodeBidir,
+		Dispatch: sub.Dispatch,
+		CID:      cid,
+		FileOp:   sub.FileOp,
+		WriteLen: uint32(writeLen),
+		ReadLen:  uint32(readLen),
+		DW12:     sub.DW12,
+		WHLen:    uint16(len(sub.Header)),
+		RHLen:    uint16(sub.RHLen),
+	}
+	if writeLen > 0 {
+		sqe.PRPWrite = [2]uint64{uint64(wbuf), uint64(wbuf) + 4096}
+	}
+	if readLen > 0 {
+		sqe.PRPRead = [2]uint64{uint64(rbuf), uint64(rbuf) + 4096}
+	}
+
+	for qs.qp.SQFull() {
+		qs.sqCond.Wait(p)
+	}
+	// Write the SQE into the SQ ring (host-local memory write).
+	sqeAddr := qs.qp.SQ.EntryAddr(qs.qp.SQTail)
+	sqe.Marshal(d.m.HostMem.Slice(sqeAddr, nvme.SQESize))
+	qs.qp.SQTail = qs.qp.SQ.Next(qs.qp.SQTail)
+
+	pd := &pendingCmd{cond: sim.NewCond(d.m.Eng, "nvme-cmd")}
+	qs.pending[cid] = pd
+	qs.slotOf[cid] = slot
+	qs.subOf[cid] = &sub
+
+	// Ring the doorbell with the new tail and kick the TGT thread.
+	d.m.PCIe.MMIOWrite32(p, d.m.DPUMem, qs.doorbell, uint32(qs.qp.SQTail), "sq-doorbell")
+	qs.kick.TrySend(struct{}{})
+
+	for !pd.done {
+		pd.cond.Wait(p)
+	}
+
+	// Reap the completion.
+	d.m.HostExec(p, costs.HostComplete)
+	cqe := pd.cqe
+	comp := Completion{Status: cqe.Status, Result: cqe.Result}
+	if readLen > 0 && cqe.Status == nvme.StatusOK {
+		if sub.RHLen > 0 {
+			comp.Header = d.m.HostMem.Read(rbuf, sub.RHLen)
+		}
+		n := int(cqe.Result)
+		if n > sub.ReadLen {
+			n = sub.ReadLen
+		}
+		if n > 0 {
+			comp.Data = d.m.HostMem.Read(rbuf+mem.Addr(d.cfg.RHCap), n)
+		}
+	}
+
+	delete(qs.pending, cid)
+	delete(qs.slotOf, cid)
+	delete(qs.subOf, cid)
+	qs.freeSlots = append(qs.freeSlots, slot)
+	qs.freeCID = append(qs.freeCID, cid)
+	qs.slotCond.Signal()
+	d.Completed++
+	return comp
+}
+
+// tgtLoop is one NVME-TGT thread: it consumes SQEs for a single queue.
+func (d *Driver) tgtLoop(p *sim.Proc, qs *queueState) {
+	costs := d.m.Cfg.Costs
+	for {
+		qs.kick.Recv(p)
+		p.Sleep(costs.TGTPollDelay)
+		// The doorbell register is device-local: reading it is free.
+		tail := int(d.m.DPUMem.Uint32(qs.doorbell))
+		for qs.qp.SQHead != tail {
+			d.processOne(p, qs)
+			// Re-read the doorbell: the host may have advanced it.
+			tail = int(d.m.DPUMem.Uint32(qs.doorbell))
+		}
+	}
+}
+
+// processOne consumes one SQE: the 4-DMA path of Figure 4. The TGT thread
+// performs the SQE fetch, parse and payload pull synchronously (they keep
+// queue order), then hands the request to a worker process so slow file
+// stacks do not serialize the queue (DPFS's single HAL thread does exactly
+// that, which is part of why it cannot scale).
+func (d *Driver) processOne(p *sim.Proc, qs *queueState) {
+	costs := d.m.Cfg.Costs
+	link := d.m.PCIe
+	hm := d.m.HostMem
+
+	// ① Retrieve the SQE.
+	sqeAddr := qs.qp.SQ.EntryAddr(qs.qp.SQHead)
+	sqeBytes := link.DMARead(p, hm, sqeAddr, nvme.SQESize, "sqe")
+	qs.qp.SQHead = qs.qp.SQ.Next(qs.qp.SQHead)
+	sqe, err := nvme.UnmarshalSQE(sqeBytes)
+	if err != nil {
+		panic("nvmefs: corrupt SQE: " + err.Error())
+	}
+	d.m.DPUExec(p, costs.DPUCmdParse)
+
+	if err := sqe.Validate(); err != nil {
+		d.complete(p, qs, sqe, Response{Status: nvme.StatusInvalid})
+		return
+	}
+	// ② Locate the data buffer: the PRP/buffer-descriptor fetch also
+	// brings in the 64-byte file-semantic request header that sits at the
+	// head of the write buffer.
+	req := Request{QID: qs.qp.ID, SQE: sqe}
+	if sqe.WriteLen > 0 {
+		hdrBytes := link.DMARead(p, hm, mem.Addr(sqe.PRPWrite[0]), 64, "prp")
+		req.Header = hdrBytes[:sqe.WHLen]
+		if sqe.WriteLen > 64 {
+			// ③ Read the payload in one contiguous transfer.
+			req.Data = link.DMARead(p, hm, mem.Addr(sqe.PRPWrite[0])+64, int(sqe.WriteLen)-64, "data-in")
+		}
+	}
+	d.m.Eng.Go("nvme-worker", func(wp *sim.Proc) {
+		resp := d.handler(wp, req)
+		// Write back the response header + data, one contiguous DMA.
+		if sqe.ReadLen > 0 && resp.Status == nvme.StatusOK && (len(resp.Header) > 0 || len(resp.Data) > 0) {
+			if len(resp.Header) > int(sqe.RHLen) {
+				panic(fmt.Sprintf("nvmefs: handler header %d > RHLen %d", len(resp.Header), sqe.RHLen))
+			}
+			out := make([]byte, d.cfg.RHCap+len(resp.Data))
+			copy(out, resp.Header)
+			copy(out[d.cfg.RHCap:], resp.Data)
+			if len(out) > int(sqe.ReadLen) {
+				out = out[:sqe.ReadLen]
+			}
+			link.DMAWrite(wp, hm, mem.Addr(sqe.PRPRead[0]), out, "data-out")
+			resp.Result = uint32(len(resp.Data))
+		}
+		d.complete(wp, qs, sqe, resp)
+	})
+}
+
+// complete posts the CQE (④) and interrupts the host.
+func (d *Driver) complete(p *sim.Proc, qs *queueState, sqe nvme.SQE, resp Response) {
+	cqe := nvme.CQE{
+		Result: resp.Result,
+		SQHead: uint16(qs.qp.SQHead),
+		SQID:   uint16(qs.qp.ID),
+		CID:    sqe.CID,
+		Phase:  qs.qp.CQPhaseDev,
+		Status: resp.Status,
+	}
+	var cqeBytes [nvme.CQESize]byte
+	cqe.Marshal(cqeBytes[:])
+	cqAddr := qs.qp.CQ.EntryAddr(qs.qp.CQTail)
+	qs.qp.CQTail = qs.qp.CQ.Next(qs.qp.CQTail)
+	if qs.qp.CQTail == 0 {
+		qs.qp.CQPhaseDev = !qs.qp.CQPhaseDev
+	}
+	d.m.PCIe.DMAWrite(p, d.m.HostMem, cqAddr, cqeBytes[:], "cqe")
+
+	pd := qs.pending[sqe.CID]
+	if pd == nil {
+		panic(fmt.Sprintf("nvmefs: completion for unknown CID %d", sqe.CID))
+	}
+	c := cqe
+	d.m.Eng.After(d.m.Cfg.Costs.HostIRQDelay, func() {
+		pd.done = true
+		pd.cqe = c
+		pd.cond.Signal()
+	})
+	// SQ space freed: let a blocked submitter proceed.
+	qs.sqCond.Signal()
+}

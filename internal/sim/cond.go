@@ -1,0 +1,45 @@
+package sim
+
+// Cond is a condition variable for processes. Unlike sync.Cond there is no
+// associated lock: processes already run one at a time, so checking the
+// predicate and calling Wait is atomic with respect to other processes.
+type Cond struct {
+	eng     *Engine
+	name    string
+	waiters []*Proc
+}
+
+// NewCond creates a condition variable.
+func NewCond(eng *Engine, name string) *Cond {
+	return &Cond{eng: eng, name: name}
+}
+
+// Wait parks p until another process calls Signal or Broadcast. As with any
+// condition variable, re-check the predicate after waking.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.park()
+}
+
+// Signal wakes the oldest waiter, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.eng.Schedule(c.eng.now, func() { c.eng.wake(p) })
+}
+
+// Broadcast wakes every waiter in FIFO order.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, p := range ws {
+		p := p
+		c.eng.Schedule(c.eng.now, func() { c.eng.wake(p) })
+	}
+}
+
+// Waiters returns the number of parked processes.
+func (c *Cond) Waiters() int { return len(c.waiters) }

@@ -1,0 +1,199 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine owns a virtual clock measured in integer nanoseconds. Work is
+// expressed either as plain scheduled events (callbacks) or as processes:
+// goroutine-backed activities that may block on virtual time (Sleep), on
+// resources (Resource.Acquire), on mailboxes (Mailbox.Recv) or on condition
+// variables (Cond.Wait). At any instant exactly one process or event callback
+// is running, so simulations are deterministic and data structures shared
+// between processes need no locking.
+//
+// Determinism: events scheduled for the same virtual time fire in the order
+// they were scheduled (a monotonically increasing sequence number breaks
+// ties). The engine also carries a seeded PRNG so workloads are repeatable.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Common duration units, usable as "5 * sim.Microsecond".
+const (
+	Nanosecond  time.Duration = 1
+	Microsecond               = 1000 * Nanosecond
+	Millisecond               = 1000 * Microsecond
+	Second                    = 1000 * Millisecond
+)
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Duration converts a virtual-time difference into a time.Duration.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event        { return h[0] }
+func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// Engine is a discrete-event simulation engine. The zero value is not usable;
+// call NewEngine.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+
+	// park is signalled by a process when it has blocked (or terminated)
+	// and control can return to the engine loop.
+	park chan struct{}
+	// parked tracks every live process currently blocked, for Shutdown.
+	parked map[*Proc]struct{}
+	// running is the process currently executing, if any.
+	running *Proc
+	// inRun reports whether the event loop is active.
+	inRun bool
+}
+
+// NewEngine returns an engine with the clock at zero and a PRNG seeded with
+// the given seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		rng:    rand.New(rand.NewSource(seed)),
+		park:   make(chan struct{}),
+		parked: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic PRNG. It must only be used from
+// process or event context (never concurrently with Run from outside).
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule registers fn to run at the given absolute virtual time. Scheduling
+// in the past panics: it would silently reorder causality.
+func (e *Engine) Schedule(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	e.seq++
+	e.events.pushEvent(event{at: at, seq: e.seq, fn: fn})
+}
+
+// After registers fn to run d from now.
+func (e *Engine) After(d time.Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.Schedule(e.now+Time(d), fn)
+}
+
+// Run processes events until the event heap is empty. Processes blocked on
+// mailboxes or conditions with no pending events do not keep Run alive; they
+// simply stay parked (a subsequent Run may wake them).
+func (e *Engine) Run() { e.RunUntil(Time(1<<62 - 1)) }
+
+// RunUntil processes events with timestamps <= limit, then advances the clock
+// to limit (if the clock has not already passed it). Events scheduled after
+// limit remain pending.
+func (e *Engine) RunUntil(limit Time) {
+	if e.inRun {
+		panic("sim: Run re-entered")
+	}
+	e.inRun = true
+	defer func() { e.inRun = false }()
+	for e.events.Len() > 0 {
+		if e.events.peek().at > limit {
+			break
+		}
+		ev := e.events.popEvent()
+		if ev.at < e.now {
+			panic("sim: event heap time went backwards")
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.now < limit && limit < Time(1<<62-1) {
+		e.now = limit
+	}
+}
+
+// Idle reports whether no events are pending.
+func (e *Engine) Idle() bool { return e.events.Len() == 0 }
+
+// PendingEvents returns the number of scheduled events.
+func (e *Engine) PendingEvents() int { return e.events.Len() }
+
+// Shutdown kills every parked process. It must be called from outside
+// process context (after Run returns). Killed processes unwind via panic,
+// running their deferred functions; the engine is unusable for those procs
+// afterwards but may continue to schedule plain events.
+func (e *Engine) Shutdown() {
+	if e.running != nil {
+		panic("sim: Shutdown called from process context")
+	}
+	for len(e.parked) > 0 {
+		var p *Proc
+		for q := range e.parked {
+			p = q
+			break
+		}
+		delete(e.parked, p)
+		p.killed = true
+		p.dead = true
+		e.running = p
+		p.resume <- struct{}{}
+		<-e.park
+		e.running = nil
+	}
+}
+
+// wake transfers control to p until it parks again or terminates. Must be
+// called only from the engine loop (inside an event callback with no process
+// running). Waking a dead process (completed or killed by Shutdown) is a
+// no-op: stale wake events may survive in the heap past a process's life.
+func (e *Engine) wake(p *Proc) {
+	if e.running != nil {
+		panic("sim: wake with a process already running")
+	}
+	if p.dead {
+		return
+	}
+	delete(e.parked, p)
+	e.running = p
+	p.resume <- struct{}{}
+	<-e.park
+	e.running = nil
+}
+
+// scheduleWake arranges for p to resume at time at.
+func (e *Engine) scheduleWake(p *Proc, at Time) {
+	e.Schedule(at, func() { e.wake(p) })
+}

@@ -1,0 +1,129 @@
+package sim
+
+import "fmt"
+
+// Mailbox is an ordered message queue between processes, analogous to a Go
+// channel but living in virtual time. A capacity of 0 means unbounded.
+// Senders block only when a bound is set and reached; receivers block when
+// the mailbox is empty. Both queues are FIFO.
+type Mailbox[T any] struct {
+	eng   *Engine
+	name  string
+	bound int
+	buf   []T
+
+	recvWaiters []*Proc
+	sendWaiters []mboxSend[T]
+	// pending holds messages handed directly to woken receivers, keyed by
+	// the receiving process; the receiver collects its message on wake.
+	pending []pendingRecv[T]
+
+	// Sent and Received count total messages through the mailbox.
+	Sent     int64
+	Received int64
+	maxDepth int
+}
+
+type mboxSend[T any] struct {
+	p   *Proc
+	msg T
+}
+
+// NewMailbox creates a mailbox. bound <= 0 means unbounded.
+func NewMailbox[T any](eng *Engine, name string, bound int) *Mailbox[T] {
+	return &Mailbox[T]{eng: eng, name: name, bound: bound}
+}
+
+// Len returns the number of queued messages.
+func (m *Mailbox[T]) Len() int { return len(m.buf) }
+
+// MaxDepth returns the high-water mark of the queue length.
+func (m *Mailbox[T]) MaxDepth() int { return m.maxDepth }
+
+// Send enqueues msg, blocking p while the mailbox is full.
+func (m *Mailbox[T]) Send(p *Proc, msg T) {
+	for m.bound > 0 && len(m.buf) >= m.bound {
+		m.sendWaiters = append(m.sendWaiters, mboxSend[T]{p: p, msg: msg})
+		p.park()
+		// On wake our message has been delivered by the receiver.
+		return
+	}
+	m.push(msg)
+}
+
+// TrySend enqueues msg if the mailbox has room, reporting success. It never
+// blocks and may be called from event context.
+func (m *Mailbox[T]) TrySend(msg T) bool {
+	if m.bound > 0 && len(m.buf) >= m.bound {
+		return false
+	}
+	m.push(msg)
+	return true
+}
+
+func (m *Mailbox[T]) push(msg T) {
+	m.Sent++
+	if len(m.recvWaiters) > 0 {
+		// Hand the message directly to the oldest receiver.
+		rp := m.recvWaiters[0]
+		m.recvWaiters = m.recvWaiters[1:]
+		m.Received++
+		m.pending = append(m.pending, pendingRecv[T]{p: rp, msg: msg})
+		m.eng.Schedule(m.eng.now, func() { m.eng.wake(rp) })
+		return
+	}
+	m.buf = append(m.buf, msg)
+	if len(m.buf) > m.maxDepth {
+		m.maxDepth = len(m.buf)
+	}
+}
+
+type pendingRecv[T any] struct {
+	p   *Proc
+	msg T
+}
+
+// Recv dequeues the oldest message, blocking p while the mailbox is empty.
+func (m *Mailbox[T]) Recv(p *Proc) T {
+	if len(m.buf) > 0 {
+		msg := m.buf[0]
+		m.buf = m.buf[1:]
+		m.Received++
+		m.wakeSender()
+		return msg
+	}
+	m.recvWaiters = append(m.recvWaiters, p)
+	p.park()
+	// A sender handed us a message directly via pending.
+	for i, pr := range m.pending {
+		if pr.p == p {
+			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+			return pr.msg
+		}
+	}
+	panic(fmt.Sprintf("sim: mailbox %q woke receiver %q with no pending message", m.name, p.name))
+}
+
+// TryRecv dequeues a message if one is available. It never blocks.
+func (m *Mailbox[T]) TryRecv() (T, bool) {
+	var zero T
+	if len(m.buf) == 0 {
+		return zero, false
+	}
+	msg := m.buf[0]
+	m.buf = m.buf[1:]
+	m.Received++
+	m.wakeSender()
+	return msg, true
+}
+
+func (m *Mailbox[T]) wakeSender() {
+	if len(m.sendWaiters) == 0 {
+		return
+	}
+	sw := m.sendWaiters[0]
+	m.sendWaiters = m.sendWaiters[1:]
+	m.push(sw.msg)
+	sp := sw.p
+	m.eng.Schedule(m.eng.now, func() { m.eng.wake(sp) })
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Proc is a simulation process: a goroutine that runs in lockstep with the
+// engine. Only one process runs at a time; every blocking operation parks the
+// goroutine and returns control to the event loop.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	killed bool
+	dead   bool
+}
+
+// procKilled is the panic value used to unwind a process killed by Shutdown.
+type procKilled struct{ name string }
+
+// Go spawns a new process. The process body starts executing at the current
+// virtual time (as a scheduled event). fn runs on its own goroutine but in
+// lockstep with the engine.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.Schedule(e.now, func() {
+		e.running = p
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(procKilled); !ok {
+						panic(r)
+					}
+				}
+				p.dead = true
+				e.park <- struct{}{}
+			}()
+			<-p.resume
+			if p.killed {
+				panic(procKilled{p.name})
+			}
+			fn(p)
+		}()
+		p.resume <- struct{}{}
+		<-e.park
+		e.running = nil
+	})
+	return p
+}
+
+// Name returns the process name (for diagnostics).
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// park blocks the process until the engine wakes it. The caller must have
+// already arranged for a wake-up (a scheduled event, a resource grant, a
+// mailbox delivery...). If the process is killed while parked, park unwinds
+// the goroutine via panic so deferred cleanups run.
+func (p *Proc) park() {
+	if p.eng.running != p {
+		panic(fmt.Sprintf("sim: proc %q parking while not running", p.name))
+	}
+	p.eng.running = nil
+	p.eng.parked[p] = struct{}{}
+	p.eng.park <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(procKilled{p.name})
+	}
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: proc %q sleeping negative duration %v", p.name, d))
+	}
+	if d == 0 {
+		return
+	}
+	p.eng.scheduleWake(p, p.eng.now+Time(d))
+	p.park()
+}
+
+// SleepUntil suspends the process until absolute virtual time t. If t is in
+// the past it returns immediately.
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.eng.now {
+		return
+	}
+	p.eng.scheduleWake(p, t)
+	p.park()
+}
+
+// Yield reschedules the process at the current time behind already-pending
+// same-time events, giving them a chance to run.
+func (p *Proc) Yield() {
+	p.eng.scheduleWake(p, p.eng.now)
+	p.park()
+}

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResourceImmediateGrant(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "cpu", 2)
+	var end Time
+	e.Go("p", func(p *Proc) {
+		r.Use(p, 1, 100)
+		end = p.Now()
+	})
+	e.Run()
+	if end != 100 {
+		t.Fatalf("end = %v, want 100", end)
+	}
+	if r.InUse() != 0 {
+		t.Fatalf("InUse = %d after release", r.InUse())
+	}
+}
+
+func TestResourceQueueing(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "cpu", 1)
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		e.Go("p", func(p *Proc) {
+			r.Use(p, 1, 100)
+			ends = append(ends, p.Now())
+		})
+	}
+	e.Run()
+	if len(ends) != 3 || ends[0] != 100 || ends[1] != 200 || ends[2] != 300 {
+		t.Fatalf("ends = %v, want [100 200 300]", ends)
+	}
+	if r.Waits != 2 {
+		t.Fatalf("Waits = %d, want 2", r.Waits)
+	}
+}
+
+func TestResourceParallelism(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "cpu", 4)
+	var ends []Time
+	for i := 0; i < 8; i++ {
+		e.Go("p", func(p *Proc) {
+			r.Use(p, 1, 100)
+			ends = append(ends, p.Now())
+		})
+	}
+	e.Run()
+	// 8 jobs on 4 servers: two waves of 100ns.
+	if e.Now() != 200 {
+		t.Fatalf("makespan = %v, want 200", e.Now())
+	}
+}
+
+func TestResourceFIFOWithLargeRequestBlocksSmall(t *testing.T) {
+	// Strict FIFO: a queued 2-unit request blocks later 1-unit requests
+	// even when 1 unit is free (no starvation of wide requests).
+	e := NewEngine(1)
+	r := NewResource(e, "r", 2)
+	var order []string
+	e.Go("hold1", func(p *Proc) { // takes 1 unit until t=100
+		r.Acquire(p, 1)
+		p.Sleep(100)
+		r.Release(1)
+	})
+	e.Go("wide", func(p *Proc) { // wants 2, must wait for hold1
+		p.Sleep(1)
+		r.Acquire(p, 2)
+		order = append(order, "wide")
+		p.Sleep(10)
+		r.Release(2)
+	})
+	e.Go("narrow", func(p *Proc) { // wants 1, arrives after wide
+		p.Sleep(2)
+		r.Acquire(p, 1)
+		order = append(order, "narrow")
+		r.Release(1)
+	})
+	e.Run()
+	if len(order) != 2 || order[0] != "wide" || order[1] != "narrow" {
+		t.Fatalf("order = %v, want [wide narrow]", order)
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "cpu", 2)
+	e.Go("p1", func(p *Proc) { r.Use(p, 1, Time(1*Second).Sub(0)) })
+	e.Go("p2", func(p *Proc) { r.Use(p, 1, Time(1*Second).Sub(0)) })
+	e.Run()
+	busy := r.BusyUnitSeconds()
+	if busy < 1.99 || busy > 2.01 {
+		t.Fatalf("BusyUnitSeconds = %v, want 2.0", busy)
+	}
+}
+
+func TestResourceTryAcquire(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "r", 1)
+	if !r.TryAcquire(1) {
+		t.Fatal("first TryAcquire failed")
+	}
+	if r.TryAcquire(1) {
+		t.Fatal("second TryAcquire succeeded with no capacity")
+	}
+	r.Release(1)
+	if !r.TryAcquire(1) {
+		t.Fatal("TryAcquire after release failed")
+	}
+}
+
+func TestResourceReleasePanics(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "r", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	r.Release(1)
+}
+
+// Property: for any set of jobs on a single-server resource, the makespan is
+// the sum of the service times, and jobs complete in spawn order.
+func TestResourceConservationProperty(t *testing.T) {
+	f := func(durs []uint16) bool {
+		if len(durs) == 0 {
+			return true
+		}
+		if len(durs) > 64 {
+			durs = durs[:64]
+		}
+		e := NewEngine(7)
+		r := NewResource(e, "r", 1)
+		var total int64
+		var ends []Time
+		for _, d := range durs {
+			d := int64(d) + 1
+			total += d
+			e.Go("j", func(p *Proc) {
+				r.Use(p, 1, Time(d).Sub(0))
+				ends = append(ends, p.Now())
+			})
+		}
+		e.Run()
+		if int64(e.Now()) != total {
+			return false
+		}
+		for i := 1; i < len(ends); i++ {
+			if ends[i] < ends[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

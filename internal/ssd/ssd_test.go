@@ -1,0 +1,114 @@
+package ssd
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"dpc/internal/sim"
+)
+
+func testCfg() Config {
+	return Config{
+		ReadLatency:  88 * time.Microsecond,
+		WriteLatency: 14 * time.Microsecond,
+		ReadBps:      3_200_000_000,
+		WriteBps:     2_100_000_000,
+		Channels:     4,
+		CapacityMB:   64,
+	}
+}
+
+func TestDataRoundTrip(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := New(e, testCfg())
+	payload := []byte("the quick brown fox")
+	e.Go("io", func(p *sim.Proc) {
+		d.Write(p, 10_000, payload)
+		got := d.Read(p, 10_000, len(payload))
+		if !bytes.Equal(got, payload) {
+			t.Errorf("round trip = %q", got)
+		}
+	})
+	e.Run()
+	if d.Reads.Total() != 1 || d.Writes.Total() != 1 {
+		t.Fatalf("counters: r=%d w=%d", d.Reads.Total(), d.Writes.Total())
+	}
+}
+
+func TestCrossBlockBoundary(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := New(e, testCfg())
+	// Spans three 4K blocks.
+	payload := make([]byte, 3*BlockSize)
+	for i := range payload {
+		payload[i] = byte(i % 251)
+	}
+	d.WriteRaw(BlockSize-100, payload)
+	got := d.ReadRaw(BlockSize-100, len(payload))
+	if !bytes.Equal(got, payload) {
+		t.Fatal("cross-block round trip failed")
+	}
+	if d.AllocatedBlocks() != 4 {
+		t.Fatalf("AllocatedBlocks = %d, want 4", d.AllocatedBlocks())
+	}
+}
+
+func TestUnwrittenReadsZero(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := New(e, testCfg())
+	for _, b := range d.ReadRaw(123, 100) {
+		if b != 0 {
+			t.Fatal("unwritten bytes not zero")
+		}
+	}
+}
+
+func TestLatencyCharged(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := New(e, testCfg())
+	var readDone, writeDone sim.Time
+	e.Go("w", func(p *sim.Proc) {
+		d.Write(p, 0, make([]byte, 4096))
+		writeDone = p.Now()
+		start := p.Now()
+		d.Read(p, 0, 4096)
+		readDone = p.Now() - start
+	})
+	e.Run()
+	// write: 14µs + 4096/2.1GB/s ≈ 14µs + 1.95µs
+	if writeDone < sim.Time(14*time.Microsecond) || writeDone > sim.Time(18*time.Microsecond) {
+		t.Fatalf("write latency = %v", writeDone)
+	}
+	// read: 88µs + 4096/3.2GB/s ≈ 88µs + 1.28µs
+	if readDone < sim.Time(88*time.Microsecond) || readDone > sim.Time(92*time.Microsecond) {
+		t.Fatalf("read latency = %v", readDone)
+	}
+}
+
+func TestChannelLimitCapsIOPS(t *testing.T) {
+	e := sim.NewEngine(1)
+	cfg := testCfg()
+	cfg.Channels = 2
+	d := New(e, cfg)
+	// 8 reads on 2 channels: 4 waves of 88µs (+~1µs xfer each, serialized).
+	for i := 0; i < 8; i++ {
+		e.Go("r", func(p *sim.Proc) { d.Read(p, 0, 4096) })
+	}
+	e.Run()
+	min := sim.Time(4 * 88 * time.Microsecond)
+	if e.Now() < min {
+		t.Fatalf("makespan %v below channel-limited minimum %v", e.Now(), min)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := New(e, testCfg())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-capacity access did not panic")
+		}
+	}()
+	d.WriteRaw(int64(testCfg().CapacityMB)*1024*1024, []byte{1})
+}

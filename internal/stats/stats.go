@@ -1,0 +1,140 @@
+// Package stats provides the measurement primitives used by every
+// experiment: latency recorders with percentiles, operation counters and
+// windowed rate meters. All values are recorded in virtual time, so the
+// numbers are deterministic across runs.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Latency records a stream of durations and reports summary statistics.
+// It keeps every sample (experiments record at most a few hundred thousand
+// operations), which makes percentiles exact rather than approximate.
+type Latency struct {
+	samples []time.Duration
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+	sorted  bool
+}
+
+// NewLatency returns an empty latency recorder.
+func NewLatency() *Latency {
+	return &Latency{min: math.MaxInt64}
+}
+
+// Record adds one sample.
+func (l *Latency) Record(d time.Duration) {
+	l.samples = append(l.samples, d)
+	l.sorted = false
+	l.sum += d
+	if d < l.min {
+		l.min = d
+	}
+	if d > l.max {
+		l.max = d
+	}
+}
+
+// Count returns the number of samples recorded.
+func (l *Latency) Count() int { return len(l.samples) }
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (l *Latency) Mean() time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	return l.sum / time.Duration(len(l.samples))
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (l *Latency) Min() time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	return l.min
+}
+
+// Max returns the largest sample.
+func (l *Latency) Max() time.Duration { return l.max }
+
+// Percentile returns the p-th percentile (0 < p <= 100) using the
+// nearest-rank method. It sorts lazily.
+func (l *Latency) Percentile(p float64) time.Duration {
+	n := len(l.samples)
+	if n == 0 {
+		return 0
+	}
+	if !l.sorted {
+		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+		l.sorted = true
+	}
+	if p <= 0 {
+		return l.samples[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return l.samples[rank-1]
+}
+
+// Reset discards all samples.
+func (l *Latency) Reset() {
+	l.samples = l.samples[:0]
+	l.sum = 0
+	l.min = math.MaxInt64
+	l.max = 0
+	l.sorted = false
+}
+
+func (l *Latency) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		l.Count(), l.Mean(), l.Percentile(50), l.Percentile(99), l.Max())
+}
+
+// Counter is a monotonically increasing operation/byte counter with window
+// support: Mark remembers the current value, Delta reports growth since Mark.
+type Counter struct {
+	total  int64
+	marked int64
+}
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) { c.total += n }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.total++ }
+
+// Total returns the all-time value.
+func (c *Counter) Total() int64 { return c.total }
+
+// Mark records the current value as the start of a measurement window.
+func (c *Counter) Mark() { c.marked = c.total }
+
+// Delta returns the growth since the last Mark.
+func (c *Counter) Delta() int64 { return c.total - c.marked }
+
+// Rate converts a delta over a window into a per-second rate.
+func Rate(delta int64, window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(delta) / window.Seconds()
+}
+
+// Throughput converts bytes over a window into GB/s (decimal gigabytes, as
+// the paper reports).
+func Throughput(bytes int64, window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(bytes) / window.Seconds() / 1e9
+}

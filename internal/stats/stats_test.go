@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLatencyBasics(t *testing.T) {
+	l := NewLatency()
+	if l.Mean() != 0 || l.Min() != 0 || l.Max() != 0 || l.Percentile(50) != 0 {
+		t.Fatal("empty recorder should report zeros")
+	}
+	for _, d := range []time.Duration{30, 10, 20} {
+		l.Record(d)
+	}
+	if l.Count() != 3 {
+		t.Fatalf("Count = %d", l.Count())
+	}
+	if l.Mean() != 20 {
+		t.Fatalf("Mean = %v", l.Mean())
+	}
+	if l.Min() != 10 || l.Max() != 30 {
+		t.Fatalf("Min/Max = %v/%v", l.Min(), l.Max())
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	l := NewLatency()
+	for i := 1; i <= 100; i++ {
+		l.Record(time.Duration(i))
+	}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{50, 50}, {90, 90}, {99, 99}, {100, 100}, {1, 1}, {0, 1},
+	}
+	for _, c := range cases {
+		if got := l.Percentile(c.p); got != c.want {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestLatencyRecordAfterPercentile(t *testing.T) {
+	l := NewLatency()
+	l.Record(10)
+	l.Record(30)
+	_ = l.Percentile(50)
+	l.Record(20)
+	if got := l.Percentile(100); got != 30 {
+		t.Fatalf("P100 = %v, want 30", got)
+	}
+	if l.Count() != 3 {
+		t.Fatalf("Count = %d", l.Count())
+	}
+}
+
+func TestLatencyReset(t *testing.T) {
+	l := NewLatency()
+	l.Record(5)
+	l.Reset()
+	if l.Count() != 0 || l.Max() != 0 || l.Mean() != 0 {
+		t.Fatal("reset did not clear recorder")
+	}
+	l.Record(7)
+	if l.Min() != 7 {
+		t.Fatalf("Min after reset+record = %v", l.Min())
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		if n == 0 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		l := NewLatency()
+		for i := 0; i < int(n); i++ {
+			l.Record(time.Duration(rng.Intn(1_000_000)))
+		}
+		prev := time.Duration(-1)
+		for p := 1.0; p <= 100; p += 7 {
+			v := l.Percentile(p)
+			if v < prev || v < l.Min() || v > l.Max() {
+				return false
+			}
+			prev = v
+		}
+		return l.Percentile(100) == l.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterWindow(t *testing.T) {
+	var c Counter
+	c.Add(100)
+	c.Mark()
+	c.Add(50)
+	c.Inc()
+	if c.Total() != 151 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+	if c.Delta() != 51 {
+		t.Fatalf("Delta = %d", c.Delta())
+	}
+}
+
+func TestRateAndThroughput(t *testing.T) {
+	if r := Rate(1000, time.Second); r != 1000 {
+		t.Fatalf("Rate = %v", r)
+	}
+	if r := Rate(500, 500*time.Millisecond); r != 1000 {
+		t.Fatalf("Rate = %v", r)
+	}
+	if r := Rate(10, 0); r != 0 {
+		t.Fatalf("Rate with zero window = %v", r)
+	}
+	if tp := Throughput(2e9, time.Second); tp != 2.0 {
+		t.Fatalf("Throughput = %v", tp)
+	}
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"dpc/internal/sim"
+)
+
+func TestRandomGenBounds(t *testing.T) {
+	gen := RandomGen(8192, 1<<20, 70)
+	rng := rand.New(rand.NewSource(1))
+	reads := 0
+	for i := 0; i < 2000; i++ {
+		a := gen(0, rng, i)
+		if a.Off%8192 != 0 || a.Off >= 1<<20 {
+			t.Fatalf("access out of bounds: %+v", a)
+		}
+		if a.Size != 8192 {
+			t.Fatalf("size = %d", a.Size)
+		}
+		if a.Kind == Read {
+			reads++
+		}
+	}
+	frac := float64(reads) / 2000
+	if frac < 0.65 || frac > 0.75 {
+		t.Fatalf("read fraction = %v, want ~0.70", frac)
+	}
+}
+
+func TestSequentialGenWraps(t *testing.T) {
+	gen := SequentialGen(4096, 3*4096, Read)
+	rng := rand.New(rand.NewSource(1))
+	want := []uint64{0, 4096, 8192, 0, 4096}
+	for i, w := range want {
+		if a := gen(0, rng, i); a.Off != w {
+			t.Fatalf("iter %d off = %d, want %d", i, a.Off, w)
+		}
+	}
+}
+
+func TestCreateGenSequence(t *testing.T) {
+	gen := CreateGen(8192)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5; i++ {
+		a := gen(3, rng, i)
+		if a.Kind != Create || a.Seq != i || a.Size != 8192 {
+			t.Fatalf("create access = %+v", a)
+		}
+	}
+}
+
+func TestRunMeasuresWindowOnly(t *testing.T) {
+	eng := sim.NewEngine(1)
+	// Each op takes exactly 100µs; 4 threads; 10ms measure after 1ms warmup
+	// => 4 * 10ms/100µs = 400 ops.
+	res := Run(eng, Config{Threads: 4, Warmup: time.Millisecond, Measure: 10 * time.Millisecond, Seed: 1},
+		RandomGen(8192, 1<<20, 50),
+		func(p *sim.Proc, tid int, a Access) error {
+			p.Sleep(100 * time.Microsecond)
+			return nil
+		})
+	if res.Ops < 390 || res.Ops > 400 {
+		t.Fatalf("Ops = %d, want ~400", res.Ops)
+	}
+	if iops := res.IOPS(); iops < 39000 || iops > 40100 {
+		t.Fatalf("IOPS = %v", iops)
+	}
+	if res.Lat.Mean() != 100*time.Microsecond {
+		t.Fatalf("mean latency = %v", res.Lat.Mean())
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+}
+
+func TestRunCountsErrors(t *testing.T) {
+	eng := sim.NewEngine(1)
+	res := Run(eng, Config{Threads: 1, Measure: time.Millisecond, Seed: 1},
+		SequentialGen(4096, 1<<20, Write),
+		func(p *sim.Proc, tid int, a Access) error {
+			p.Sleep(10 * time.Microsecond)
+			return errTest
+		})
+	if res.Errors == 0 || res.Ops != 0 {
+		t.Fatalf("Errors=%d Ops=%d", res.Errors, res.Ops)
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (e *testError) Error() string { return "test" }
+
+func TestRunDeterministic(t *testing.T) {
+	run := func() (int64, int64) {
+		eng := sim.NewEngine(1)
+		res := Run(eng, Config{Threads: 8, Measure: 5 * time.Millisecond, Seed: 42},
+			RandomGen(8192, 1<<24, 70),
+			func(p *sim.Proc, tid int, a Access) error {
+				d := 50 * time.Microsecond
+				if a.Kind == Write {
+					d = 80 * time.Microsecond
+				}
+				p.Sleep(d)
+				return nil
+			})
+		return res.Ops, res.Bytes
+	}
+	o1, b1 := run()
+	o2, b2 := run()
+	if o1 != o2 || b1 != b2 {
+		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", o1, b1, o2, b2)
+	}
+}
+
+func TestZipfGenSkewAndBounds(t *testing.T) {
+	gen := ZipfGen(8192, 64<<20, 1.2)
+	rng := rand.New(rand.NewSource(5))
+	counts := map[uint64]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		a := gen(0, rng, i)
+		if a.Kind != Read || a.Off%8192 != 0 || a.Off >= 64<<20 {
+			t.Fatalf("bad access %+v", a)
+		}
+		counts[a.Off]++
+	}
+	// Skew: the hottest page absorbs far more than a uniform share.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	uniform := n / (64 << 20 / 8192)
+	if max < 20*uniform {
+		t.Fatalf("hottest page only %dx the uniform share", max/uniform)
+	}
+}

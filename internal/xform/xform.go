@@ -1,0 +1,72 @@
+// Package xform implements the block transforms the paper attaches to the
+// DPU data path (§3.3: at flush time the DPU "performs relevant computing
+// operations (e.g., compression, DIF, EC)"; §1: LustreFS-style client-side
+// compression reduces network traffic). Transforms encode a block before it
+// is stored in the disaggregated backend and decode it on the way back,
+// charging their CPU cost to whichever pool runs them (the host for the
+// optimized client, the DPU for DPC).
+package xform
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Transform encodes blocks on write and decodes them on read.
+type Transform interface {
+	// Name identifies the transform in diagnostics.
+	Name() string
+	// Encode returns the stored representation of page.
+	Encode(page []byte) []byte
+	// Decode reverses Encode; it fails on corrupt input.
+	Decode(stored []byte) ([]byte, error)
+	// CyclesPerByte is the CPU cost per input byte for either direction.
+	CyclesPerByte() int64
+}
+
+// ErrCorrupt is returned when a transform detects damaged data.
+var ErrCorrupt = errors.New("xform: corrupt block")
+
+// Chain applies transforms in order on encode and in reverse on decode.
+type Chain []Transform
+
+// Name implements Transform.
+func (c Chain) Name() string {
+	out := ""
+	for i, t := range c {
+		if i > 0 {
+			out += "+"
+		}
+		out += t.Name()
+	}
+	return out
+}
+
+// Encode implements Transform.
+func (c Chain) Encode(page []byte) []byte {
+	for _, t := range c {
+		page = t.Encode(page)
+	}
+	return page
+}
+
+// Decode implements Transform.
+func (c Chain) Decode(stored []byte) ([]byte, error) {
+	for i := len(c) - 1; i >= 0; i-- {
+		var err error
+		stored, err = c[i].Decode(stored)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c[i].Name(), err)
+		}
+	}
+	return stored, nil
+}
+
+// CyclesPerByte implements Transform.
+func (c Chain) CyclesPerByte() int64 {
+	var total int64
+	for _, t := range c {
+		total += t.CyclesPerByte()
+	}
+	return total
+}

@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test vet torture check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Short fixed-seed differential torture: every stack, 8 seeds, 2000 ops
+# each, replayed against the in-memory oracle (see internal/check).
+torture:
+	$(GO) run ./cmd/dpccheck -seeds 8 -ops 2000
+
+check: vet test torture

@@ -185,6 +185,29 @@ func (f *File) Sync(p *sim.Proc, qid int) error {
 	return statusErr(comp.Status)
 }
 
+// Truncate cuts the file to zero length and drops every cached page of it:
+// stale pages left in the hybrid cache would resurrect dead data through
+// read-modify-write or the flush daemon. The invalidation runs BEFORE the
+// backend truncate: InvalidateIno waits out any flusher holding a page of
+// this inode, so no in-flight flush (whose EOF clamp read the pre-truncate
+// size) can land after the truncate and re-extend the file.
+func (f *File) Truncate(p *sim.Proc, qid int) error {
+	if f.c.cacheHost != nil {
+		f.c.cacheHost.InvalidateIno(p, f.Ino)
+	}
+	hdr := dispatch.ReqHeader{Ino: f.Ino}
+	comp := f.c.submit(p, qid, nvmefs.Submission{
+		FileOp: nvme.FileOpTruncate,
+		Header: hdr.Marshal(),
+		RHLen:  1,
+	})
+	if err := statusErr(comp.Status); err != nil {
+		return err
+	}
+	f.Size = 0
+	return nil
+}
+
 // Sync flushes the service's dirty cache pages to the backend.
 func (c *Client) Sync(p *sim.Proc, qid int) error {
 	hdr := dispatch.ReqHeader{}
@@ -207,34 +230,96 @@ func (c *Client) CacheStats() (hits, misses int64) {
 // ---- data path ----
 
 // Write stores data at off. With direct=true the payload goes straight to
-// the DPU over nvme-fs (zero-copy DIO). Buffered writes of whole,
-// page-aligned pages land in the hybrid cache at host-memory speed and are
-// flushed asynchronously by the DPU control plane; anything unaligned
-// falls back to the direct path.
+// the DPU over nvme-fs (zero-copy DIO); cached pages covering the range are
+// updated in place so buffered readers never see stale data. Buffered
+// writes of any alignment land in the hybrid cache at host-memory speed —
+// whole pages are inserted directly, partial pages read-modify-write — and
+// are flushed asynchronously by the DPU control plane. A buffered write
+// that extends the file publishes the new EOF to the backend first (one
+// metadata op), so flush-time write-back can clamp whole-page flushes to
+// the true size instead of inflating it to the page boundary.
 func (f *File) Write(p *sim.Proc, qid int, off uint64, data []byte, direct bool) error {
 	c := f.c
 	ps := uint64(0)
 	if c.cacheHost != nil {
 		ps = uint64(c.cacheHost.L.PageSize)
 	}
-	if !direct && ps > 0 && off%ps == 0 && uint64(len(data))%ps == 0 && len(data) > 0 {
-		for done := uint64(0); done < uint64(len(data)); done += ps {
-			lpn := (off + done) / ps
-			page := data[done : done+ps]
-			if err := c.writePageCached(p, qid, f.Ino, lpn, page); err != nil {
+	if direct || ps == 0 || len(data) == 0 {
+		return f.writeDirect(p, qid, off, data)
+	}
+	end := off + uint64(len(data))
+	eof := f.Size
+	if end > eof {
+		if err := c.setSize(p, qid, f.Ino, end); err != nil {
+			return err
+		}
+		eof = end
+	}
+	for done := uint64(0); done < uint64(len(data)); {
+		lpn := (off + done) / ps
+		po := (off + done) % ps
+		n := ps - po
+		if n > uint64(len(data))-done {
+			n = uint64(len(data)) - done
+		}
+		var page []byte
+		if po == 0 && n == ps {
+			page = data[done : done+n]
+		} else {
+			// Partial page: read-modify-write through the cache. A missing
+			// page (hole or beyond the old EOF) modifies zeros.
+			base, err := c.readPageForRMW(p, qid, f.Ino, lpn)
+			if err != nil {
 				return err
 			}
+			page = base
+			copy(page[po:], data[done:done+n])
 		}
-		if end := off + uint64(len(data)); end > f.Size {
-			f.Size = end
+		if err := c.writePageCached(p, qid, f.Ino, lpn, page, eof); err != nil {
+			return err
 		}
-		return nil
+		done += n
 	}
-	return f.writeDirect(p, qid, off, data)
+	if end > f.Size {
+		f.Size = end
+	}
+	return nil
+}
+
+// setSize publishes a new EOF to the backend (a size-only setattr).
+func (c *Client) setSize(p *sim.Proc, qid int, ino, size uint64) error {
+	hdr := dispatch.ReqHeader{Ino: ino, Off: size}
+	comp := c.submit(p, qid, nvmefs.Submission{
+		FileOp: nvme.FileOpSetattr,
+		Header: hdr.Marshal(),
+		RHLen:  1,
+	})
+	return statusErr(comp.Status)
+}
+
+// readPageForRMW fetches one full page for a partial buffered write,
+// returning zeros for pages at or beyond EOF.
+func (c *Client) readPageForRMW(p *sim.Proc, qid int, ino, lpn uint64) ([]byte, error) {
+	page := make([]byte, c.cacheHost.L.PageSize)
+	data, err := c.readPageCached(p, qid, ino, lpn)
+	if err != nil && !errors.Is(err, ErrNotFound) {
+		return nil, err
+	}
+	copy(page, data)
+	return page, nil
 }
 
 func (f *File) writeDirect(p *sim.Proc, qid int, off uint64, data []byte) error {
-	maxIO := f.c.sys.Driver.MaxIO()
+	c := f.c
+	// O_DIRECT semantics, write side: buffered dirty pages must reach the
+	// backend first, or a later daemon flush of a pre-write snapshot would
+	// overwrite what this direct write is about to put there.
+	if c.cacheHost != nil && c.cacheHost.HasDirty(p, f.Ino) {
+		if err := f.Sync(p, qid); err != nil {
+			return err
+		}
+	}
+	maxIO := c.sys.Driver.MaxIO()
 	for done := 0; done < len(data); done += maxIO {
 		end := done + maxIO
 		if end > len(data) {
@@ -242,13 +327,29 @@ func (f *File) writeDirect(p *sim.Proc, qid int, off uint64, data []byte) error 
 		}
 		chunk := data[done:end]
 		hdr := dispatch.ReqHeader{Ino: f.Ino, Off: off + uint64(done), Len: uint32(len(chunk))}
-		comp := f.c.submit(p, qid, nvmefs.Submission{
+		comp := c.submit(p, qid, nvmefs.Submission{
 			FileOp:  nvme.FileOpWrite,
 			Header:  hdr.Marshal(),
 			Payload: chunk,
 		})
 		if err := statusErr(comp.Status); err != nil {
 			return err
+		}
+	}
+	// Cache coherence: a cached copy of any page in the range (possibly
+	// dirty with earlier buffered data) must not keep — and later flush —
+	// stale bytes over what the backend now holds.
+	if c.cacheHost != nil && len(data) > 0 {
+		ps := uint64(c.cacheHost.L.PageSize)
+		for done := uint64(0); done < uint64(len(data)); {
+			lpn := (off + done) / ps
+			po := (off + done) % ps
+			n := ps - po
+			if n > uint64(len(data))-done {
+				n = uint64(len(data)) - done
+			}
+			c.cacheHost.MergeIfPresent(p, f.Ino, lpn, int(po), data[done:done+n])
+			done += n
 		}
 	}
 	if end := off + uint64(len(data)); end > f.Size {
@@ -259,7 +360,9 @@ func (f *File) writeDirect(p *sim.Proc, qid int, off uint64, data []byte) error 
 
 // writePageCached inserts one page into the hybrid cache, asking the DPU to
 // reclaim space when the bucket is full (the paper's front-end write flow).
-func (c *Client) writePageCached(p *sim.Proc, qid int, ino, lpn uint64, page []byte) error {
+// eof is the file's published size: the write-through fallback trims the
+// page to it so a bypassing write never extends the file past its EOF.
+func (c *Client) writePageCached(p *sim.Proc, qid int, ino, lpn uint64, page []byte, eof uint64) error {
 	for attempt := 0; attempt < 4; attempt++ {
 		if c.cacheHost.WritePage(p, ino, lpn, page) {
 			return nil
@@ -275,7 +378,14 @@ func (c *Client) writePageCached(p *sim.Proc, qid int, ino, lpn uint64, page []b
 		}
 	}
 	// The bucket would not drain (all entries hot); write through instead.
-	hdr := dispatch.ReqHeader{Ino: ino, Off: lpn * uint64(c.cacheHost.L.PageSize), Len: uint32(len(page))}
+	off := lpn * uint64(c.cacheHost.L.PageSize)
+	if off >= eof {
+		return nil
+	}
+	if end := off + uint64(len(page)); end > eof {
+		page = page[:eof-off]
+	}
+	hdr := dispatch.ReqHeader{Ino: ino, Off: off, Len: uint32(len(page))}
 	comp := c.submit(p, qid, nvmefs.Submission{
 		FileOp:  nvme.FileOpWrite,
 		Header:  hdr.Marshal(),
@@ -284,32 +394,56 @@ func (c *Client) writePageCached(p *sim.Proc, qid int, ino, lpn uint64, page []b
 	return statusErr(comp.Status)
 }
 
-// Read returns up to n bytes at off. Buffered page-aligned reads go through
-// the hybrid cache: hits are served from host memory with no PCIe traffic;
-// misses are filled by the DPU (which also drives the prefetcher).
+// Read returns up to n bytes at off. Buffered reads of any alignment go
+// through the hybrid cache: hits are served from host memory with no PCIe
+// traffic; misses are filled by the DPU (which also drives the prefetcher).
+// Like a kernel page-cache read, the result is clamped to the handle's EOF
+// and holes read as zeros.
 func (f *File) Read(p *sim.Proc, qid int, off uint64, n int, direct bool) ([]byte, error) {
 	c := f.c
 	ps := uint64(0)
 	if c.cacheHost != nil {
 		ps = uint64(c.cacheHost.L.PageSize)
 	}
-	if !direct && ps > 0 && off%ps == 0 && uint64(n)%ps == 0 && n > 0 {
-		out := make([]byte, 0, n)
-		for done := uint64(0); done < uint64(n); done += ps {
-			lpn := (off + done) / ps
-			page, err := c.readPageCached(p, qid, f.Ino, lpn)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, page...)
-		}
-		return out, nil
+	if direct || ps == 0 || n <= 0 {
+		return f.readDirect(p, qid, off, n)
 	}
-	return f.readDirect(p, qid, off, n)
+	if off >= f.Size {
+		return nil, nil
+	}
+	if max := f.Size - off; uint64(n) > max {
+		n = int(max)
+	}
+	out := make([]byte, n)
+	for done := 0; done < n; {
+		lpn := (off + uint64(done)) / ps
+		po := (off + uint64(done)) % ps
+		k := int(ps - po)
+		if k > n-done {
+			k = n - done
+		}
+		page, err := c.readPageCached(p, qid, f.Ino, lpn)
+		if err != nil && !errors.Is(err, ErrNotFound) {
+			return nil, err
+		}
+		if int(po) < len(page) {
+			copy(out[done:done+k], page[po:])
+		}
+		done += k
+	}
+	return out, nil
 }
 
 func (f *File) readDirect(p *sim.Proc, qid int, off uint64, n int) ([]byte, error) {
-	maxIO := f.c.sys.Driver.MaxIO()
+	c := f.c
+	// O_DIRECT semantics: dirty buffered pages must reach the backend before
+	// a direct read, or the reader sees pre-write data.
+	if c.cacheHost != nil && c.cacheHost.HasDirty(p, f.Ino) {
+		if err := f.Sync(p, qid); err != nil {
+			return nil, err
+		}
+	}
+	maxIO := c.sys.Driver.MaxIO()
 	var out []byte
 	for done := 0; done < n; done += maxIO {
 		want := n - done

@@ -1,0 +1,78 @@
+// Command dpccheck runs the differential torture harness: randomized
+// operation traces replayed against every file system stack in the repo,
+// diffed op-by-op against an in-memory oracle, with periodic full-tree
+// verifies and a final flush + fsck.
+//
+//	dpccheck                          # default: all stacks, 8 seeds, 2000 ops
+//	dpccheck -stacks kvfs-cache -seeds 32 -ops 5000 -v
+//	dpccheck -stacks localfs -seed 1234 -seeds 1 -shrink=false
+//
+// Exit status 1 when any stack diverges from the oracle; the report
+// includes a minimal shrunk trace and the command line that reproduces it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"dpc/internal/check"
+)
+
+func main() {
+	var (
+		stacksFlag = flag.String("stacks", "", "comma-separated stacks (default: all of "+strings.Join(check.StackNames(), ",")+")")
+		seeds      = flag.Int("seeds", 8, "number of seeds per stack")
+		seed       = flag.Int64("seed", 1, "first seed (seeds are seed, seed+1, ...)")
+		ops        = flag.Int("ops", 2000, "operations per trace")
+		shrink     = flag.Bool("shrink", true, "delta-debug failing traces to a minimal reproducer")
+		parallel   = flag.Int("parallel", 0, "concurrent worlds (default GOMAXPROCS)")
+		verbose    = flag.Bool("v", false, "log every (stack, seed) result")
+	)
+	flag.Parse()
+
+	cfg := check.SuiteConfig{
+		Ops:      *ops,
+		Shrink:   *shrink,
+		Parallel: *parallel,
+	}
+	if *stacksFlag != "" {
+		cfg.Stacks = strings.Split(*stacksFlag, ",")
+	}
+	for i := 0; i < *seeds; i++ {
+		cfg.Seeds = append(cfg.Seeds, *seed+int64(i))
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+
+	failures, err := check.RunSuite(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stacks := cfg.Stacks
+	if len(stacks) == 0 {
+		stacks = check.StackNames()
+	}
+	if len(failures) == 0 {
+		fmt.Printf("ok: %d stacks x %d seeds x %d ops diverged nowhere\n",
+			len(stacks), len(cfg.Seeds), *ops)
+		return
+	}
+	for _, f := range failures {
+		fmt.Printf("FAIL %v\n", f)
+		fmt.Printf("  reproduce: go run ./cmd/dpccheck -stacks %s -seed %d -seeds 1 -ops %d\n",
+			f.Stack, f.Seed, *ops)
+		if len(f.Trace) <= 40 {
+			fmt.Println("  minimal trace:")
+			for _, op := range f.Trace {
+				fmt.Printf("    %s\n", op)
+			}
+		} else {
+			fmt.Printf("  trace: %d ops (rerun with -shrink for a minimal one)\n", len(f.Trace))
+		}
+	}
+	os.Exit(1)
+}

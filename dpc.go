@@ -262,8 +262,20 @@ func (b dfsPageBackend) ReadPage(p *sim.Proc, ino, lpn uint64, pageSize int) ([]
 	return data, true
 }
 
-func (b dfsPageBackend) WritePage(p *sim.Proc, ino, lpn uint64, data []byte) {
-	if err := b.core.Write(p, ino, lpn*uint64(len(data)), data); err != nil {
+func (b dfsPageBackend) WritePage(p *sim.Proc, ino, lpn uint64, pageSize int, data []byte) {
+	off := lpn * uint64(pageSize)
+	// Clamp the whole-page flush to the file's true EOF so write-back never
+	// inflates the size recorded at the MDS. An unknown size means no local
+	// delegation — write unclamped rather than drop data.
+	if size, ok := b.core.SizeOf(ino); ok {
+		if off >= size {
+			return
+		}
+		if end := off + uint64(len(data)); end > size {
+			data = data[:size-off]
+		}
+	}
+	if err := b.core.Write(p, ino, off, data); err != nil {
 		panic(fmt.Sprintf("dpc: cache flush write failed: %v", err))
 	}
 }

@@ -28,7 +28,7 @@ func (b *memBackend) ReadPage(p *sim.Proc, ino, lpn uint64, pageSize int) ([]byt
 	return append([]byte(nil), d...), true
 }
 
-func (b *memBackend) WritePage(p *sim.Proc, ino, lpn uint64, data []byte) {
+func (b *memBackend) WritePage(p *sim.Proc, ino, lpn uint64, pageSize int, data []byte) {
 	b.writes++
 	b.pages[[2]uint64{ino, lpn}] = append([]byte(nil), data...)
 }

@@ -13,8 +13,11 @@ import (
 type Backend interface {
 	// ReadPage fetches one page; ok=false when the page does not exist.
 	ReadPage(p *sim.Proc, ino, lpn uint64, pageSize int) ([]byte, bool)
-	// WritePage persists one page.
-	WritePage(p *sim.Proc, ino, lpn uint64, data []byte)
+	// WritePage persists one page. pageSize is the cache's page size, so
+	// the backend can derive the byte offset (lpn*pageSize) even when the
+	// payload is shorter than a page, and clamp the write-back to the
+	// file's true EOF rather than extending it to the page boundary.
+	WritePage(p *sim.Proc, ino, lpn uint64, pageSize int, data []byte)
 }
 
 // RangeBackend is implemented by backends that can fetch a run of pages in
@@ -93,6 +96,10 @@ type Ctl struct {
 // Engine.Run drain. (Without it the daemon's periodic wakeups keep the
 // event heap non-empty forever.)
 func (c *Ctl) Stop() { c.stopped = true }
+
+// SetBackend swaps the flush/fill backend. Used by tests and the torture
+// harness to inject faulty or instrumented backends under a live cache.
+func (c *Ctl) SetBackend(b Backend) { c.backend = b }
 
 // NewCtl creates the control plane and starts the flush daemon.
 func NewCtl(m *model.Machine, l Layout, backend Backend, cfg CtlConfig) *Ctl {
@@ -219,8 +226,14 @@ func (c *Ctl) FlushPass(p *sim.Proc, maxPages int) int {
 }
 
 // FlushIno flushes every dirty page belonging to one inode (fsync):
-// a full meta scan selecting only that inode's entries, then a parallel
-// flush. Returns the number flushed.
+// a full meta scan selecting only that inode's entries. Unlike the daemon's
+// best-effort pass, fsync must not return while any of the inode's pages is
+// still dirty or mid-flush elsewhere — a direct read right after fsync
+// would otherwise miss data a concurrent daemon flush has snapshotted but
+// not yet written to the backend. An entry we cannot lock is therefore
+// re-checked until it is either flushed here or observed clean (the
+// concurrent flusher marks it clean only after its backend write lands).
+// Returns the number flushed.
 func (c *Ctl) FlushIno(p *sim.Proc, ino uint64) int {
 	flushed := 0
 	const chunkEntries = 128
@@ -232,9 +245,24 @@ func (c *Ctl) FlushIno(p *sim.Proc, ino uint64) int {
 		raw := c.m.PCIe.DMARead(p, c.m.HostMem, c.L.EntryAddr(base), n*EntrySize, "cache-scan")
 		for k := 0; k < n; k++ {
 			e := DecodeEntry(raw[k*EntrySize : (k+1)*EntrySize])
-			if e.Status == StatusDirty && e.Ino == ino {
-				if c.flushOne(p, base+k) {
+			if e.Status != StatusDirty || e.Ino != ino {
+				continue
+			}
+			i := base + k
+			for spins := 0; ; spins++ {
+				if spins > 1<<20 {
+					panic("cache: FlushIno livelocked on a held entry lock")
+				}
+				if c.flushOne(p, i) {
 					flushed++
+					break
+				}
+				// Lock held or state changed: either a concurrent flush is
+				// writing this page back, or the host replaced the entry.
+				// Re-read and wait until it is no longer our dirty page.
+				cur := c.readEntryRemote(p, i)
+				if cur.Status != StatusDirty || cur.Ino != ino {
+					break
 				}
 			}
 		}
@@ -257,7 +285,7 @@ func (c *Ctl) flushOne(p *sim.Proc, i int) bool {
 	data := c.m.PCIe.DMARead(p, c.m.HostMem, c.L.PageAddr(i), c.L.PageSize, "cache-pull")
 	// Relevant computing (compression, DIF, EC...) happens here on the DPU.
 	c.m.DPUExec(p, c.m.Cfg.Costs.DPUFlushPage)
-	c.backend.WritePage(p, e.Ino, e.LPN, data)
+	c.backend.WritePage(p, e.Ino, e.LPN, c.L.PageSize, data)
 	c.setStatus(p, i, StatusClean)
 	c.unlock(p, i)
 	c.Flushes.Inc()
@@ -278,18 +306,14 @@ func (c *Ctl) FillPage(p *sim.Proc, ino, lpn uint64, data []byte) int {
 	lo, _ := c.L.BucketEntries(bucket)
 	entries := c.readBucket(p, bucket)
 
-	// Already present? Refresh it (write lock, overwrite, clean).
+	// Already present (including another fill's pending claim)? Leave it
+	// alone. The host-side copy is never staler than the backend — direct
+	// writes merge into cached pages and buffered writes land here first —
+	// so there is nothing to refresh, and overwriting a dirty entry with
+	// backend data would silently lose the buffered writes it holds.
 	for k, e := range entries {
 		if e.Status != StatusFree && e.Ino == ino && e.LPN == lpn {
-			i := lo + k
-			if !c.lock(p, i, LockWrite) {
-				return -1
-			}
-			c.m.PCIe.DMAWrite(p, c.m.HostMem, c.L.PageAddr(i), data, "cache-fill")
-			c.setStatus(p, i, StatusClean)
-			c.unlock(p, i)
-			c.Fills.Inc()
-			return i
+			return lo + k
 		}
 	}
 
@@ -312,16 +336,35 @@ func (c *Ctl) FillPage(p *sim.Proc, ino, lpn uint64, data []byte) int {
 		return -1
 	}
 	cur := c.readEntryRemote(p, target)
-	if cur.Status == StatusFree {
-		c.m.PCIe.AtomicFetchAdd32(p, c.m.HostMem, c.L.Base+12, ^uint32(0), "cache-free-dec")
+	if cur.Status != StatusFree {
+		// Lost the entry to a concurrent claim; this fill is best-effort.
+		c.unlock(p, target)
+		return -1
+	}
+	c.m.PCIe.AtomicFetchAdd32(p, c.m.HostMem, c.L.Base+12, ^uint32(0), "cache-free-dec")
+	// Claim first, fill second: publish the identity with StatusInvalid
+	// (fill pending) BEFORE moving any data, so a concurrent host write of
+	// this page sees the claim and updates it in place once the fill's lock
+	// drops. Filling first and publishing last leaves a window in which the
+	// host, seeing the page as absent, inserts a second entry for it — and
+	// duplicate entries mean reads race writes on which copy they touch.
+	// The next pointer is immutable after format, so the stale read is safe.
+	var eb [EntrySize]byte
+	encodeEntry(eb[:], Entry{Lock: LockWrite, Status: StatusInvalid, Next: cur.Next, LPN: lpn, Ino: ino})
+	c.m.PCIe.DMAWrite(p, c.m.HostMem, c.L.EntryAddr(target), eb[:], "cache-meta-w")
+	// Re-check under the claim: the host may have inserted this page (or a
+	// concurrent fill claimed it) between the presence scan above and our
+	// claim landing. If so, retract — the other copy is the live one.
+	for k, e := range c.readBucket(p, bucket) {
+		if lo+k != target && e.Status != StatusFree && e.Ino == ino && e.LPN == lpn {
+			c.m.PCIe.AtomicFetchAdd32(p, c.m.HostMem, c.L.Base+12, 1, "cache-free-inc")
+			c.setStatus(p, target, StatusFree)
+			c.unlock(p, target)
+			return lo + k
+		}
 	}
 	c.m.PCIe.DMAWrite(p, c.m.HostMem, c.L.PageAddr(target), data, "cache-fill")
-	// Publish the new identity with one entry-sized DMA write. The next
-	// pointer is immutable after format, so the stale read is safe.
-	var eb [EntrySize]byte
-	e := Entry{Lock: LockWrite, Status: StatusClean, Next: cur.Next, LPN: lpn, Ino: ino}
-	encodeEntry(eb[:], e)
-	c.m.PCIe.DMAWrite(p, c.m.HostMem, c.L.EntryAddr(target), eb[:], "cache-meta-w")
+	c.setStatus(p, target, StatusClean)
 	c.unlock(p, target)
 	c.Fills.Inc()
 	return target
@@ -483,45 +526,64 @@ func (c *Ctl) NotifyRead(p *sim.Proc, ino, lpn uint64) {
 	if len(toFetch) == 0 {
 		return
 	}
-	// Fetch the window in the background. Backends with a range read serve
-	// the whole contiguous window in one operation; otherwise pages fetch
-	// in parallel so the prefetcher stays ahead of the reader.
+	// Fetch the window in the background. Successive windows overlap pages
+	// cached by earlier passes, so each worker first probes residency (one
+	// bucket meta DMA per page) and fetches only the absent ones: a redundant
+	// backend read wastes a page of backend bandwidth exactly when the reader
+	// is stalled on its own frontier fill. Backends with a range read serve
+	// each contiguous absent run in one operation; otherwise pages fetch in
+	// parallel so the prefetcher stays ahead of the reader.
 	if rb, ok := c.backend.(RangeBackend); ok {
-		first, n := toFetch[0], len(toFetch)
-		contiguous := true
-		for i, l := range toFetch {
-			if l != first+uint64(i) {
-				contiguous = false
-				break
+		c.m.Eng.Go("cache-prefetch", func(pp *sim.Proc) {
+			var need []uint64
+			for _, l := range toFetch {
+				if !c.present(pp, ino, l) {
+					need = append(need, l)
+				}
 			}
-		}
-		if contiguous {
-			c.m.Eng.Go("cache-prefetch", func(pp *sim.Proc) {
-				pages := rb.ReadPageRange(pp, ino, first, n, c.L.PageSize)
-				for i, pg := range pages {
+			for i := 0; i < len(need); {
+				j := i + 1
+				for j < len(need) && need[j] == need[j-1]+1 {
+					j++
+				}
+				pages := rb.ReadPageRange(pp, ino, need[i], j-i, c.L.PageSize)
+				for k, pg := range pages {
 					if pg != nil {
-						c.FillPage(pp, ino, first+uint64(i), pg)
+						c.FillPage(pp, ino, need[i]+uint64(k), pg)
 						c.Prefetches.Inc()
 					}
 				}
-				for _, l := range toFetch {
-					delete(c.inflight, [2]uint64{ino, l})
-				}
-			})
-			return
-		}
+				i = j
+			}
+			for _, l := range toFetch {
+				delete(c.inflight, [2]uint64{ino, l})
+			}
+		})
+		return
 	}
 	for _, l := range toFetch {
 		l := l
 		c.m.Eng.Go("cache-prefetch", func(pp *sim.Proc) {
-			data, ok := c.backend.ReadPage(pp, ino, l, c.L.PageSize)
-			if ok {
-				c.FillPage(pp, ino, l, data)
-				c.Prefetches.Inc()
+			if !c.present(pp, ino, l) {
+				if data, ok := c.backend.ReadPage(pp, ino, l, c.L.PageSize); ok {
+					c.FillPage(pp, ino, l, data)
+					c.Prefetches.Inc()
+				}
 			}
 			delete(c.inflight, [2]uint64{ino, l})
 		})
 	}
+}
+
+// present reports whether <ino, lpn> is resident in the host cache, by one
+// bucket-sized meta DMA read.
+func (c *Ctl) present(p *sim.Proc, ino, lpn uint64) bool {
+	for _, e := range c.readBucket(p, c.L.BucketOf(ino, lpn)) {
+		if e.Status != StatusFree && e.Ino == ino && e.LPN == lpn {
+			return true
+		}
+	}
+	return false
 }
 
 // encodeEntry serializes an entry into a 32-byte buffer.

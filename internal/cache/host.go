@@ -3,6 +3,7 @@ package cache
 import (
 	"time"
 
+	"dpc/internal/mem"
 	"dpc/internal/model"
 	"dpc/internal/sim"
 	"dpc/internal/stats"
@@ -28,12 +29,17 @@ func NewHost(m *model.Machine, l Layout) *Host {
 }
 
 // findEntry scans a bucket's chain for <ino, lpn>, returning the entry index
-// or -1. Host-local memory walk.
+// or -1. Host-local memory walk. StatusInvalid entries count as present:
+// that is the DPU's fill-pending claim, and treating a claimed page as
+// absent would let the host insert a duplicate entry for the same page —
+// two copies of one page with independent contents is unrecoverable.
+// Callers re-validate the status under the entry lock, so a pending claim
+// behaves like a locked entry (miss for Lookup, spin for writers).
 func (h *Host) findEntry(ino, lpn uint64) int {
 	lo, hi := h.L.BucketEntries(h.L.BucketOf(ino, lpn))
 	for i := lo; i < hi; i++ {
 		e := ReadEntry(h.m.HostMem, h.L, i)
-		if e.Status != StatusFree && e.Status != StatusInvalid && e.Ino == ino && e.LPN == lpn {
+		if e.Status != StatusFree && e.Ino == ino && e.LPN == lpn {
 			return i
 		}
 	}
@@ -83,8 +89,16 @@ func (h *Host) WritePage(p *sim.Proc, ino, lpn uint64, data []byte) bool {
 	}
 	h.m.HostExec(p, h.m.Cfg.Costs.HostCacheLookup)
 
-	// Update in place if the page is already cached.
-	for attempt := 0; attempt < 64; attempt++ {
+	// Update in place if the page is already cached. As long as the entry
+	// exists this MUST succeed (or observe the entry's replacement): falling
+	// through to the insert path with the page still present would leave a
+	// stale copy that a later lookup serves as current data. The flusher
+	// holds the lock across a whole backend write, so waiting is bounded by
+	// one flush, not by a spin budget.
+	for spins := 0; ; spins++ {
+		if spins > 1<<22 {
+			panic("cache: WritePage livelocked on a held entry lock")
+		}
 		i := h.findEntry(ino, lpn)
 		if i < 0 {
 			break
@@ -124,12 +138,15 @@ func (h *Host) WritePage(p *sim.Proc, ino, lpn uint64, data []byte) bool {
 			continue
 		}
 		h.m.HostMem.Write(h.L.PageAddr(i), data)
-		h.m.HostExec(p, h.m.Cfg.Costs.HostCopyPerPage*int64((h.L.PageSize+4095)/4096))
 		h.m.HostMem.PutUint64(a+offLPN, lpn)
 		h.m.HostMem.PutUint64(a+offIno, ino)
 		h.m.HostMem.PutUint32(a+offStatus, StatusDirty)
 		h.m.HostMem.PutUint32(a+offLock, LockNone)
 		AddHeaderFree(h.m.HostMem, h.L, -1)
+		// The copy cost is charged only after the entry is fully published:
+		// a yield between the absence check above and publication would let
+		// a concurrent DPU fill claim a second entry for this page.
+		h.m.HostExec(p, h.m.Cfg.Costs.HostCopyPerPage*int64((h.L.PageSize+4095)/4096))
 		h.CachedWr.Inc()
 		return true
 	}
@@ -151,6 +168,96 @@ func (h *Host) Invalidate(p *sim.Proc, ino, lpn uint64) {
 	h.m.HostMem.PutUint32(a+offStatus, StatusFree)
 	h.m.HostMem.PutUint32(a+offLock, LockNone)
 	AddHeaderFree(h.m.HostMem, h.L, 1)
+}
+
+// InvalidateIno drops every cached page of one inode (truncate/unlink):
+// stale pages left behind would poison later read-modify-write cycles and
+// resurrect dead data through the flush daemon. Entries locked by the DPU
+// control plane are waited on until released — a skipped entry would
+// survive the invalidation and serve pre-truncate bytes as current data.
+// Waiting also serializes truncate against in-flight flushes: once this
+// returns, no flusher still holds a snapshot of this inode's pages.
+func (h *Host) InvalidateIno(p *sim.Proc, ino uint64) {
+	h.m.HostExec(p, h.m.Cfg.Costs.HostCacheLookup)
+	for i := 0; i < h.L.Total; i++ {
+		e := ReadEntry(h.m.HostMem, h.L, i)
+		// StatusInvalid with a matching ino is a pending DPU fill of this
+		// inode's page: wait it out (the lock below) and drop the result,
+		// or it would survive the invalidation holding stale bytes.
+		if e.Status == StatusFree || e.Ino != ino {
+			continue
+		}
+		a := h.L.EntryAddr(i)
+		for spins := 0; !h.m.HostMem.CompareAndSwap32(a+offLock, LockNone, LockWrite); spins++ {
+			if spins > 1<<22 {
+				panic("cache: InvalidateIno livelocked on a held entry lock")
+			}
+			p.Sleep(500 * time.Nanosecond)
+		}
+		e = ReadEntry(h.m.HostMem, h.L, i)
+		if e.Status != StatusFree && e.Ino == ino {
+			h.m.HostMem.PutUint32(a+offStatus, StatusFree)
+			AddHeaderFree(h.m.HostMem, h.L, 1)
+		}
+		h.m.HostMem.PutUint32(a+offLock, LockNone)
+	}
+}
+
+// MergeIfPresent overlays frag at byte offset pageOff into the cached page
+// for <ino, lpn>, if one is cached. Direct writes call this after hitting
+// the backend so a cached copy (possibly dirty with earlier buffered data)
+// does not keep — and later flush — stale bytes. The merged page is marked
+// dirty: its content may now differ from what the backend holds if a flush
+// raced the backend write, and a redundant flush is harmless while a silent
+// mismatch is not.
+//
+// While the entry exists the merge MUST land: giving up while the flusher
+// holds the lock leaves the cached copy missing the direct write's bytes,
+// which a later buffered read serves as current data. The flusher releases
+// after one backend write, so waiting is bounded.
+func (h *Host) MergeIfPresent(p *sim.Proc, ino, lpn uint64, pageOff int, frag []byte) {
+	if len(frag) == 0 || pageOff+len(frag) > h.L.PageSize {
+		return
+	}
+	h.m.HostExec(p, h.m.Cfg.Costs.HostCacheLookup)
+	for spins := 0; ; spins++ {
+		if spins > 1<<22 {
+			panic("cache: MergeIfPresent livelocked on a held entry lock")
+		}
+		i := h.findEntry(ino, lpn)
+		if i < 0 {
+			return
+		}
+		a := h.L.EntryAddr(i)
+		if !h.m.HostMem.CompareAndSwap32(a+offLock, LockNone, LockWrite) {
+			p.Sleep(500 * time.Nanosecond)
+			continue
+		}
+		e := ReadEntry(h.m.HostMem, h.L, i)
+		if (e.Status != StatusClean && e.Status != StatusDirty) || e.Ino != ino || e.LPN != lpn {
+			h.m.HostMem.PutUint32(a+offLock, LockNone)
+			continue
+		}
+		h.m.HostMem.Write(h.L.PageAddr(i)+mem.Addr(pageOff), frag)
+		h.m.HostExec(p, h.m.Cfg.Costs.HostCopyPerPage)
+		h.m.HostMem.PutUint32(a+offStatus, StatusDirty)
+		h.m.HostMem.PutUint32(a+offLock, LockNone)
+		return
+	}
+}
+
+// HasDirty reports whether any cached page of ino is dirty (host-local meta
+// scan). Direct reads use it to decide whether an fsync must run first so
+// O_DIRECT readers see buffered data.
+func (h *Host) HasDirty(p *sim.Proc, ino uint64) bool {
+	h.m.HostExec(p, h.m.Cfg.Costs.HostCacheLookup)
+	for i := 0; i < h.L.Total; i++ {
+		e := ReadEntry(h.m.HostMem, h.L, i)
+		if e.Status == StatusDirty && e.Ino == ino {
+			return true
+		}
+	}
+	return false
 }
 
 // DirtyCount scans the meta area and reports dirty pages (test helper).

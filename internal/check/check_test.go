@@ -1,0 +1,190 @@
+package check
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestGenTraceDeterministic: the same (seed, n, caps) must yield the same
+// trace — reproducibility is the harness's whole value proposition.
+func TestGenTraceDeterministic(t *testing.T) {
+	caps := Caps{Buffered: true, Direct: true, Mkdir: true, Unlink: true,
+		Rename: true, Truncate: true, Fsync: true, MaxFile: 96 * 1024}
+	a := GenTrace(42, 500, caps)
+	b := GenTrace(42, 500, caps)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("GenTrace is not deterministic for identical inputs")
+	}
+	c := GenTrace(43, 500, caps)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("GenTrace ignores the seed")
+	}
+}
+
+// TestGenTraceRespectsCaps: a capability-masked generator must not emit
+// operations the stack cannot execute, and must honor alignment.
+func TestGenTraceRespectsCaps(t *testing.T) {
+	caps := Caps{Direct: true, Align: 8192, MaxFile: 64 * 1024}
+	for _, op := range GenTrace(7, 1000, caps) {
+		switch op.Kind {
+		case OpMkdir, OpUnlink, OpRename, OpTruncate, OpFsync, OpReaddir:
+			t.Fatalf("generated %s despite caps forbidding it", op)
+		case OpWrite, OpRead:
+			if !op.Direct {
+				t.Fatalf("%s: buffered I/O without the Buffered cap", op)
+			}
+			if op.Off%8192 != 0 || op.Len%8192 != 0 {
+				t.Fatalf("%s: violates 8192-byte alignment", op)
+			}
+		}
+	}
+}
+
+// TestOracleBasics spot-checks the reference semantics the stacks are
+// diffed against.
+func TestOracleBasics(t *testing.T) {
+	o := NewOracle()
+	if r := o.Apply(Op{Kind: OpCreate, Path: "/f0"}); r.Err != ErrNone {
+		t.Fatalf("create: %v", r.Err)
+	}
+	if r := o.Apply(Op{Kind: OpCreate, Path: "/f0"}); r.Err != ErrExists {
+		t.Fatalf("re-create: got %v, want exists", r.Err)
+	}
+	if r := o.Apply(Op{Idx: 1, Kind: OpWrite, Path: "/f0", Off: 4, Len: 8}); r.Err != ErrNone {
+		t.Fatalf("write: %v", r.Err)
+	}
+	// Bytes 0..3 are a hole (zero fill); 4..11 follow the pattern.
+	r := o.Apply(Op{Kind: OpRead, Path: "/f0", Off: 0, Len: 100})
+	want := append(make([]byte, 4), Pattern(1, 4, 8)...)
+	if string(r.Data) != string(want) {
+		t.Fatalf("read: got %v, want %v", r.Data, want)
+	}
+	if r := o.Apply(Op{Kind: OpStat, Path: "/f0"}); r.Size != 12 {
+		t.Fatalf("stat: size %d, want 12", r.Size)
+	}
+	if r := o.Apply(Op{Kind: OpRename, Path: "/f0", Path2: "/f1"}); r.Err != ErrNone {
+		t.Fatalf("rename: %v", r.Err)
+	}
+	if r := o.Apply(Op{Kind: OpStat, Path: "/f0"}); r.Err != ErrNotFound {
+		t.Fatalf("stat after rename: %v", r.Err)
+	}
+	if r := o.Apply(Op{Kind: OpReaddir}); strings.Join(r.Names, ",") != "f1" {
+		t.Fatalf("readdir: %v", r.Names)
+	}
+}
+
+// TestShortTortureAllStacks drives a short randomized trace through every
+// stack. This is the harness's own smoke test; `make check` runs the longer
+// version via cmd/dpccheck.
+func TestShortTortureAllStacks(t *testing.T) {
+	for _, stack := range StackNames() {
+		stack := stack
+		t.Run(stack, func(t *testing.T) {
+			t.Parallel()
+			w, err := NewWorld(stack)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w.Close()
+			trace := GenTrace(1, 300, w.Caps())
+			if fail := runTraceOn(w, 1, trace); fail != nil {
+				t.Fatalf("diverged from oracle: %v", fail)
+			}
+		})
+	}
+}
+
+// TestHarnessCatchesLegacyFlushSizeBug reinstates the pre-fix cache
+// write-back (whole pages flushed with no EOF clamp) under a live
+// kvfs-cache world and proves the harness detects the size inflation. This
+// is the regression tripwire for the tentpole fix: if someone reintroduces
+// an EOF-blind backend write path, this trace diverges on stat.
+func TestHarnessCatchesLegacyFlushSizeBug(t *testing.T) {
+	trace := []Op{
+		{Idx: 0, Kind: OpCreate, Path: "/f0"},
+		{Idx: 1, Kind: OpWrite, Path: "/f0", Off: 0, Len: 10000}, // buffered, non-page-aligned
+		{Idx: 2, Kind: OpFsync, Path: "/f0"},
+		{Idx: 3, Kind: OpStat, Path: "/f0"},
+	}
+
+	// Sanity: the fixed stack passes this exact trace.
+	w, err := NewWorld("kvfs-cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fail := runTraceOn(w, 0, trace); fail != nil {
+		t.Fatalf("fixed stack fails the probe trace: %v", fail)
+	}
+	w.Close()
+
+	// Sabotaged stack: the harness must catch it.
+	w, err = NewWorld("kvfs-cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if !w.InjectLegacyFlushBug() {
+		t.Fatal("kvfs-cache world cannot inject the legacy flush bug")
+	}
+	fail := runTraceOn(w, 0, trace)
+	if fail == nil {
+		t.Fatal("harness did not catch the legacy unclamped flush (size inflation past EOF)")
+	}
+	if !strings.Contains(fail.Diff, "size") {
+		t.Fatalf("expected a size divergence, got: %v", fail)
+	}
+}
+
+// TestShrinkMinimizes: a failure buried in a long random trace must shrink
+// to a handful of ops. The legacy flush bug is the reproducible failure
+// source; the shrinker replays candidates through sabotaged worlds.
+func TestShrinkMinimizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shrinking replays many worlds")
+	}
+	sabotaged := func() (*World, error) {
+		w, err := NewWorld("kvfs-cache")
+		if err == nil {
+			w.InjectLegacyFlushBug()
+		}
+		return w, err
+	}
+
+	w, err := sabotaged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random padding followed by the probe ops that trigger the bug; the
+	// padding itself may (and usually does) trip divergence even earlier.
+	trace := GenTrace(5, 120, w.Caps())
+	next := len(trace) * 2 // Idx values past anything in the padding
+	trace = append(trace,
+		Op{Idx: next, Kind: OpCreate, Path: "/zz0"},
+		Op{Idx: next + 1, Kind: OpWrite, Path: "/zz0", Off: 0, Len: 10000},
+		Op{Idx: next + 2, Kind: OpFsync, Path: "/zz0"},
+		Op{Idx: next + 3, Kind: OpStat, Path: "/zz0"},
+	)
+	fail := runTraceOn(w, 5, trace)
+	w.Close()
+	if fail == nil {
+		t.Fatal("sabotaged world did not diverge")
+	}
+
+	shrunk, err := shrinkWith(sabotaged, fail, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shrunk.Trace) > 15 {
+		t.Fatalf("shrink left %d of %d ops", len(shrunk.Trace), len(trace))
+	}
+	// The shrunk trace must still reproduce on a fresh sabotaged world.
+	w, err = sabotaged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if runTraceOn(w, 5, shrunk.Trace) == nil {
+		t.Fatal("shrunk trace does not reproduce the failure")
+	}
+}

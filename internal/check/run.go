@@ -1,0 +1,308 @@
+package check
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"dpc/internal/sim"
+)
+
+// verifyEvery is the op interval between full-tree verifies: the executor
+// settles (lets the flush daemon run) and re-checks every live file's size,
+// full content in each supported I/O mode, and every directory listing.
+const verifyEvery = 96
+
+// Failure describes a divergence between a stack and the oracle.
+type Failure struct {
+	Stack string
+	Seed  int64
+	OpIdx int // index into Trace of the failing op; len(Trace) = end-phase
+	Diff  string
+	Trace []Op
+}
+
+func (f *Failure) Error() string {
+	where := "end-of-trace check"
+	if f.OpIdx < len(f.Trace) {
+		where = f.Trace[f.OpIdx].String()
+	}
+	return fmt.Sprintf("%s seed=%d: %s: %s", f.Stack, f.Seed, where, f.Diff)
+}
+
+// RunTrace replays a trace against a fresh instance of the named stack,
+// diffing every operation against the oracle. It returns nil if the stack
+// agrees with the oracle throughout, including the final settle + barrier +
+// full verify + fsck.
+func RunTrace(stack string, seed int64, trace []Op) (*Failure, error) {
+	w, err := NewWorld(stack)
+	if err != nil {
+		return nil, err
+	}
+	defer w.Close()
+	return runTraceOn(w, seed, trace), nil
+}
+
+func runTraceOn(w *World, seed int64, trace []Op) *Failure {
+	var fail *Failure
+	w.Drive(func(p *sim.Proc) {
+		o := NewOracle()
+		for i, op := range trace {
+			want := o.Apply(op)
+			got := w.Apply(p, op)
+			if d := Diff(op, got, want); d != "" {
+				fail = &Failure{Stack: w.Name(), Seed: seed, OpIdx: i, Diff: d, Trace: trace}
+				return
+			}
+			if (i+1)%verifyEvery == 0 {
+				w.Settle(p)
+				if d := verifyTree(p, w, o); d != "" {
+					fail = &Failure{Stack: w.Name(), Seed: seed, OpIdx: i, Diff: "periodic verify: " + d, Trace: trace}
+					return
+				}
+			}
+		}
+		w.Settle(p)
+		w.Barrier(p)
+		if d := verifyTree(p, w, o); d != "" {
+			fail = &Failure{Stack: w.Name(), Seed: seed, OpIdx: len(trace), Diff: "final verify: " + d, Trace: trace}
+			return
+		}
+		if probs := w.Fsck(p); len(probs) > 0 {
+			fail = &Failure{Stack: w.Name(), Seed: seed, OpIdx: len(trace),
+				Diff: "fsck: " + strings.Join(probs, "; "), Trace: trace}
+		}
+	})
+	return fail
+}
+
+// verifyTree re-checks the whole namespace against the oracle: every file's
+// stat size and full content (in each I/O mode the stack supports), every
+// directory listing. Synthetic ops (Idx -1) label the diffs.
+func verifyTree(p *sim.Proc, w *World, o *Oracle) string {
+	caps := w.Caps()
+	for _, path := range o.LiveFiles() {
+		size, _ := o.SizeOf(path)
+		content, _ := o.ContentOf(path)
+
+		statOp := Op{Idx: -1, Kind: OpStat, Path: path}
+		if d := Diff(statOp, w.Apply(p, statOp), Result{Size: size}); d != "" {
+			return d
+		}
+		if size == 0 {
+			continue
+		}
+		modes := []bool{}
+		if caps.Buffered {
+			modes = append(modes, false)
+		}
+		if caps.Direct {
+			modes = append(modes, true)
+		}
+		for _, direct := range modes {
+			readOp := Op{Idx: -1, Kind: OpRead, Path: path, Off: 0, Len: int(size), Direct: direct}
+			if d := Diff(readOp, w.Apply(p, readOp), Result{Data: content}); d != "" {
+				return d
+			}
+		}
+	}
+	if caps.Mkdir {
+		for _, dir := range o.LiveDirs() {
+			lsOp := Op{Idx: -1, Kind: OpReaddir, Path: dir}
+			if d := Diff(lsOp, w.Apply(p, lsOp), Result{Names: o.list(dir)}); d != "" {
+				return d
+			}
+		}
+	}
+	return ""
+}
+
+// Shrink reduces a failing trace to a (locally) minimal reproducer: first
+// truncate to the failing prefix, then delta-debug by removing chunks of
+// shrinking size, accepting any candidate that still fails (not necessarily
+// with the identical diff — any divergence is a reproducer). budget bounds
+// the number of replays.
+func Shrink(fail *Failure, budget int) (*Failure, error) {
+	return shrinkWith(func() (*World, error) { return NewWorld(fail.Stack) }, fail, budget)
+}
+
+// sanitize drops ops that fall outside the stack's capability envelope
+// after other ops were removed — chiefly writes that would now start past
+// EOF on a stack without sparse-file support. Shrunk traces must stay
+// traces the generator could have produced, or the "minimal reproducer"
+// exercises unsupported behavior instead of the original bug.
+func sanitize(trace []Op, caps Caps) []Op {
+	if caps.Holes {
+		return trace
+	}
+	o := NewOracle()
+	out := trace[:0:0]
+	for _, op := range trace {
+		if op.Kind == OpWrite {
+			if size, ok := o.SizeOf(op.Path); ok && op.Off > size {
+				continue
+			}
+		}
+		o.Apply(op)
+		out = append(out, op)
+	}
+	return out
+}
+
+// shrinkWith is Shrink with an explicit world factory, so callers (and the
+// harness's own tests) can shrink against instrumented worlds — e.g. one
+// with the legacy flush bug injected.
+func shrinkWith(factory func() (*World, error), fail *Failure, budget int) (*Failure, error) {
+	probe, err := factory()
+	if err != nil {
+		return nil, err
+	}
+	caps := probe.Caps()
+	probe.Close()
+
+	best := fail
+	trace := fail.Trace
+	if n := fail.OpIdx + 1; n < len(trace) {
+		trace = trace[:n]
+	}
+
+	runs := 0
+	rerun := func(cand []Op) (*Failure, error) {
+		runs++
+		w, err := factory()
+		if err != nil {
+			return nil, err
+		}
+		defer w.Close()
+		return runTraceOn(w, fail.Seed, cand), nil
+	}
+
+	// The truncated prefix must reproduce (the executor's state through the
+	// failing op is independent of later ops); verify and adopt it.
+	if f, err := rerun(trace); err != nil {
+		return nil, err
+	} else if f == nil {
+		// Failure only manifests with the full trace's end-phase checks.
+		trace = fail.Trace
+	} else {
+		best = f
+	}
+
+	for chunk := len(trace) / 2; chunk > 0 && runs < budget; {
+		removed := false
+		for start := 0; start+chunk <= len(trace) && runs < budget; {
+			cand := make([]Op, 0, len(trace)-chunk)
+			cand = append(cand, trace[:start]...)
+			cand = append(cand, trace[start+chunk:]...)
+			cand = sanitize(cand, caps)
+			f, err := rerun(cand)
+			if err != nil {
+				return nil, err
+			}
+			if f != nil {
+				if n := f.OpIdx + 1; n < len(cand) {
+					cand = cand[:n]
+				}
+				trace = cand
+				best = f
+				best.Trace = trace
+				removed = true
+			} else {
+				start += chunk
+			}
+		}
+		if !removed {
+			chunk /= 2
+		}
+	}
+	return best, nil
+}
+
+// SuiteConfig parameterizes a torture run.
+type SuiteConfig struct {
+	Stacks       []string // nil = all stacks
+	Seeds        []int64
+	Ops          int  // trace length per (stack, seed)
+	Shrink       bool // delta-debug failures before reporting
+	ShrinkBudget int  // max replays per shrink; 0 = 200
+	Parallel     int  // concurrent worlds; 0 = GOMAXPROCS
+	Logf         func(format string, args ...any)
+}
+
+// RunSuite tortures every (stack, seed) pair and returns the failures. Each
+// world is an independent simulation, so pairs run on real goroutines in
+// parallel.
+func RunSuite(cfg SuiteConfig) ([]*Failure, error) {
+	stacks := cfg.Stacks
+	if len(stacks) == 0 {
+		stacks = StackNames()
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	par := cfg.Parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+
+	type job struct {
+		stack string
+		seed  int64
+	}
+	var jobs []job
+	for _, s := range stacks {
+		for _, seed := range cfg.Seeds {
+			jobs = append(jobs, job{s, seed})
+		}
+	}
+
+	var (
+		mu       sync.Mutex
+		failures []*Failure
+		firstErr error
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, par)
+	)
+	for _, j := range jobs {
+		j := j
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			w, err := NewWorld(j.stack)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			trace := GenTrace(j.seed, cfg.Ops, w.Caps())
+			fail := runTraceOn(w, j.seed, trace)
+			w.Close()
+			if fail == nil {
+				logf("ok   %-11s seed=%-4d (%d ops)", j.stack, j.seed, len(trace))
+				return
+			}
+			logf("FAIL %-11s seed=%-4d: %s", j.stack, j.seed, fail.Diff)
+			if cfg.Shrink {
+				budget := cfg.ShrinkBudget
+				if budget <= 0 {
+					budget = 200
+				}
+				if shrunk, err := Shrink(fail, budget); err == nil && shrunk != nil {
+					logf("shrunk %s seed=%d to %d ops", j.stack, j.seed, len(shrunk.Trace))
+					fail = shrunk
+				}
+			}
+			mu.Lock()
+			failures = append(failures, fail)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return failures, firstErr
+}

@@ -1,0 +1,455 @@
+package check
+
+import (
+	"fmt"
+	"time"
+
+	"dpc"
+	"dpc/internal/dfs"
+	"dpc/internal/kvfs"
+	"dpc/internal/localfs"
+	"dpc/internal/model"
+	"dpc/internal/sim"
+	"dpc/internal/ssd"
+)
+
+// World is one file system stack under test, wrapped behind a uniform
+// replay surface. Apply/Barrier/Fsck run inside a sim process started by
+// Drive; Close tears the simulation down.
+type World struct {
+	name string
+	caps Caps
+
+	drive   func(fn func(p *sim.Proc))
+	apply   func(p *sim.Proc, op Op) Result
+	settle  func(p *sim.Proc)          // let flush daemons catch up
+	barrier func(p *sim.Proc)          // flush everything dirty
+	fsck    func(p *sim.Proc) []string // offline consistency check, nil if none
+	close   func()
+
+	// injectBug, when non-nil, swaps the live cache's write-back for the
+	// pre-fix behavior that flushed whole pages without clamping to EOF.
+	injectBug func()
+}
+
+// Name returns the stack's registry name.
+func (w *World) Name() string { return w.name }
+
+// Caps returns what the stack supports; the generator is masked to this.
+func (w *World) Caps() Caps { return w.caps }
+
+// Drive runs fn as a simulated application thread to completion.
+func (w *World) Drive(fn func(p *sim.Proc)) { w.drive(fn) }
+
+// Apply executes one trace operation against the stack.
+func (w *World) Apply(p *sim.Proc, op Op) Result { return w.apply(p, op) }
+
+// Settle idles long enough for background daemons (the cache flush daemon)
+// to run a few passes.
+func (w *World) Settle(p *sim.Proc) {
+	if w.settle != nil {
+		w.settle(p)
+	}
+}
+
+// Barrier flushes all dirty state to the backend.
+func (w *World) Barrier(p *sim.Proc) {
+	if w.barrier != nil {
+		w.barrier(p)
+	}
+}
+
+// Fsck runs the stack's offline consistency check, returning its problems.
+// Only meaningful after Barrier (dirty cache pages must be on the backend).
+func (w *World) Fsck(p *sim.Proc) []string {
+	if w.fsck == nil {
+		return nil
+	}
+	return w.fsck(p)
+}
+
+// Close tears down the simulation.
+func (w *World) Close() {
+	if w.close != nil {
+		w.close()
+	}
+}
+
+// InjectLegacyFlushBug reinstates the historical unclamped whole-page
+// write-back on stacks that have a hybrid cache. Returns false if the stack
+// has no cache to sabotage.
+func (w *World) InjectLegacyFlushBug() bool {
+	if w.injectBug == nil {
+		return false
+	}
+	w.injectBug()
+	return true
+}
+
+// StackNames lists every stack the harness can instantiate.
+func StackNames() []string {
+	return []string{"kvfs-direct", "kvfs-cache", "localfs", "dfs-std", "dfs-opt", "dfs-dpc"}
+}
+
+// NewWorld instantiates a fresh stack by name.
+func NewWorld(name string) (*World, error) {
+	switch name {
+	case "kvfs-direct":
+		return newKVFSWorld(name, 0), nil
+	case "kvfs-cache":
+		return newKVFSWorld(name, 128), nil
+	case "localfs":
+		return newLocalWorld(name), nil
+	case "dfs-std":
+		return newDFSWorld(name, false), nil
+	case "dfs-opt":
+		return newDFSWorld(name, true), nil
+	case "dfs-dpc":
+		return newDFSDPCWorld(name), nil
+	default:
+		return nil, fmt.Errorf("check: unknown stack %q (have %v)", name, StackNames())
+	}
+}
+
+// driveLoop runs fn on a dpc system whose flush daemon never lets the event
+// queue drain, pumping virtual time until fn finishes.
+func driveLoop(sys *dpc.System, fn func(p *sim.Proc)) {
+	done := false
+	sys.Go(func(p *sim.Proc) {
+		fn(p)
+		done = true
+	})
+	for i := 0; !done; i++ {
+		if i > 1<<20 {
+			panic("check: trace did not finish within simulated time budget")
+		}
+		sys.RunFor(10 * time.Millisecond)
+	}
+}
+
+// ---- dpc/KVFS worlds (direct and hybrid-cache) ----
+
+func newKVFSWorld(name string, cachePages int) *World {
+	opts := dpc.DefaultOptions()
+	opts.Model.HostMemMB = 192
+	opts.Model.DPUMemMB = 8
+	opts.CachePages = cachePages
+	// A deliberately small cache (128 pages, 16 buckets) keeps eviction and
+	// write-through pressure high during torture runs.
+	opts.CacheBuckets = 16
+	sys := dpc.New(opts)
+	cl := sys.KVFSClient()
+	cached := cachePages > 0
+
+	w := &World{
+		name: name,
+		caps: Caps{
+			Buffered: cached,
+			Direct:   true,
+			Mkdir:    true,
+			Unlink:   true,
+			Rename:   true,
+			Truncate: true,
+			Fsync:    cached,
+			MaxFile:  96 * 1024,
+		},
+		drive: func(fn func(p *sim.Proc)) { driveLoop(sys, fn) },
+		apply: func(p *sim.Proc, op Op) Result { return applyDPC(p, cl, op) },
+		close: func() { sys.StopDaemons(); sys.Shutdown() },
+		fsck: func(p *sim.Proc) []string {
+			return sys.KVFS.Fsck(p, sys.KVCluster).Problems
+		},
+	}
+	if cached {
+		w.settle = func(p *sim.Proc) { p.Sleep(5 * time.Millisecond) }
+		w.barrier = func(p *sim.Proc) {
+			if err := cl.Sync(p, 0); err != nil {
+				panic(fmt.Sprintf("check: barrier failed: %v", err))
+			}
+		}
+		w.injectBug = func() {
+			sys.KVFSService().Ctl.SetBackend(legacyFlushBackend{kvfs.PageBackend{FS: sys.KVFS}})
+		}
+	}
+	return w
+}
+
+// legacyFlushBackend reproduces the pre-fix cache write-back: whole pages go
+// to the backend with no knowledge of the file's true EOF, so flushing the
+// tail page of a 10 000-byte file inflates it to the next page boundary.
+type legacyFlushBackend struct {
+	kvfs.PageBackend
+}
+
+func (b legacyFlushBackend) WritePage(p *sim.Proc, ino, lpn uint64, pageSize int, data []byte) {
+	_ = b.FS.Write(p, ino, lpn*uint64(pageSize), data)
+}
+
+// applyDPC maps trace ops onto the dpc client API (shared by the KVFS
+// worlds and the cached DFS world). File handles are opened per operation
+// so each op sees the freshly published attribute size.
+func applyDPC(p *sim.Proc, cl *dpc.Client, op Op) Result {
+	openFile := func() (*dpc.File, error) { return cl.Open(p, 0, op.Path) }
+	switch op.Kind {
+	case OpCreate:
+		_, err := cl.Create(p, 0, op.Path)
+		return Result{Err: Classify(err)}
+	case OpMkdir:
+		return Result{Err: Classify(cl.Mkdir(p, 0, op.Path))}
+	case OpWrite:
+		f, err := openFile()
+		if err != nil {
+			return Result{Err: Classify(err)}
+		}
+		err = f.Write(p, 0, op.Off, Pattern(op.Idx, op.Off, op.Len), op.Direct)
+		return Result{Err: Classify(err)}
+	case OpRead:
+		f, err := openFile()
+		if err != nil {
+			return Result{Err: Classify(err)}
+		}
+		data, err := f.Read(p, 0, op.Off, op.Len, op.Direct)
+		return Result{Err: Classify(err), Data: data}
+	case OpTruncate:
+		f, err := openFile()
+		if err != nil {
+			return Result{Err: Classify(err)}
+		}
+		return Result{Err: Classify(f.Truncate(p, 0))}
+	case OpUnlink:
+		return Result{Err: Classify(cl.Unlink(p, 0, op.Path))}
+	case OpRename:
+		return Result{Err: Classify(cl.Rename(p, 0, op.Path, op.Path2))}
+	case OpFsync:
+		f, err := openFile()
+		if err != nil {
+			return Result{Err: Classify(err)}
+		}
+		return Result{Err: Classify(f.Sync(p, 0))}
+	case OpStat:
+		st, err := cl.StatPath(p, 0, op.Path)
+		if err != nil {
+			return Result{Err: Classify(err)}
+		}
+		return Result{Size: st.Size, IsDir: st.Mode == kvfs.ModeDir}
+	case OpReaddir:
+		path := op.Path
+		if path == "" {
+			path = "/"
+		}
+		ents, err := cl.Readdir(p, 0, path)
+		if err != nil {
+			return Result{Err: Classify(err)}
+		}
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = e.Name
+		}
+		return Result{Names: sortedCopy(names)}
+	}
+	panic("check: unknown op kind")
+}
+
+// ---- local ext4-style world ----
+
+func newLocalWorld(name string) *World {
+	m := model.NewMachine(model.Default())
+	dev := ssd.New(m.Eng, model.Default().SSD)
+	cfg := localfs.DefaultConfig()
+	// Small page cache: eviction write-back is part of what's under test.
+	cfg.PageCachePages = 64
+	fs := localfs.New(m, dev, cfg)
+
+	lookup := func(p *sim.Proc, path string) (uint64, error) { return fs.Lookup(p, path) }
+
+	return &World{
+		name: name,
+		caps: Caps{
+			Buffered: true,
+			Direct:   true,
+			Holes:    true, // sparse files are first-class on ext4
+			Mkdir:    true,
+			Unlink:   true,
+			Truncate: true,
+			Fsync:    true,
+			MaxFile:  96 * 1024,
+		},
+		drive: func(fn func(p *sim.Proc)) {
+			m.Eng.Go("check", fn)
+			m.Eng.Run()
+		},
+		apply: func(p *sim.Proc, op Op) Result {
+			switch op.Kind {
+			case OpCreate:
+				_, err := fs.Create(p, op.Path)
+				return Result{Err: Classify(err)}
+			case OpMkdir:
+				_, err := fs.Mkdir(p, op.Path)
+				return Result{Err: Classify(err)}
+			case OpWrite:
+				ino, err := lookup(p, op.Path)
+				if err != nil {
+					return Result{Err: Classify(err)}
+				}
+				err = fs.Write(p, ino, op.Off, Pattern(op.Idx, op.Off, op.Len), op.Direct)
+				return Result{Err: Classify(err)}
+			case OpRead:
+				ino, err := lookup(p, op.Path)
+				if err != nil {
+					return Result{Err: Classify(err)}
+				}
+				data, err := fs.Read(p, ino, op.Off, op.Len, op.Direct)
+				return Result{Err: Classify(err), Data: data}
+			case OpTruncate:
+				ino, err := lookup(p, op.Path)
+				if err != nil {
+					return Result{Err: Classify(err)}
+				}
+				return Result{Err: Classify(fs.Truncate(p, ino))}
+			case OpUnlink:
+				return Result{Err: Classify(fs.Unlink(p, op.Path))}
+			case OpFsync:
+				if _, err := lookup(p, op.Path); err != nil {
+					return Result{Err: Classify(err)}
+				}
+				fs.Sync(p) // localfs sync is global; a superset of fsync
+				return Result{}
+			case OpStat:
+				ino, err := lookup(p, op.Path)
+				if err != nil {
+					return Result{Err: Classify(err)}
+				}
+				a, err := fs.Stat(p, ino)
+				if err != nil {
+					return Result{Err: Classify(err)}
+				}
+				return Result{Size: a.Size, IsDir: a.Mode == localfs.ModeDir}
+			case OpReaddir:
+				path := op.Path
+				if path == "" {
+					path = "/"
+				}
+				ents, err := fs.Readdir(p, path)
+				if err != nil {
+					return Result{Err: Classify(err)}
+				}
+				names := make([]string, len(ents))
+				for i, e := range ents {
+					names[i] = e.Name
+				}
+				return Result{Names: sortedCopy(names)}
+			}
+			panic("check: op " + op.Kind.String() + " not supported by localfs world")
+		},
+		barrier: func(p *sim.Proc) { fs.Sync(p) },
+		fsck:    func(p *sim.Proc) []string { return fs.Fsck().Problems },
+		close:   func() { m.Eng.Shutdown() },
+	}
+}
+
+// ---- raw DFS client worlds (std and opt) ----
+
+func newDFSWorld(name string, optimized bool) *World {
+	cfg := model.Default()
+	cfg.HostMemMB = 16
+	cfg.DPUMemMB = 8
+	m := model.NewMachine(cfg)
+	b := dfs.NewBackend(m.Eng, m.Net, dfs.DefaultBackendConfig())
+	var cl dfs.Client
+	if optimized {
+		cl = dfs.NewCore(b, m.Net.NewNode("host-opt"), m.HostCPU, dfs.DefaultCoreCosts())
+	} else {
+		cl = dfs.NewStdClient(b, m.HostNode, m.HostCPU, dfs.DefaultStdClientConfig())
+	}
+
+	return &World{
+		name: name,
+		caps: Caps{
+			Direct:  true,
+			Align:   dfs.BlockSize,
+			MaxFile: 64 * 1024,
+		},
+		drive: func(fn func(p *sim.Proc)) {
+			m.Eng.Go("check", fn)
+			m.Eng.Run()
+		},
+		apply: func(p *sim.Proc, op Op) Result {
+			switch op.Kind {
+			case OpCreate:
+				_, err := cl.Create(p, op.Path)
+				return Result{Err: Classify(err)}
+			case OpWrite:
+				ino, _, err := cl.Lookup(p, op.Path)
+				if err != nil {
+					return Result{Err: Classify(err)}
+				}
+				err = cl.Write(p, ino, op.Off, Pattern(op.Idx, op.Off, op.Len))
+				return Result{Err: Classify(err)}
+			case OpRead:
+				ino, size, err := cl.Lookup(p, op.Path)
+				if err != nil {
+					return Result{Err: Classify(err)}
+				}
+				// The raw clients have no page cache; EOF clamping is the
+				// client wrapper's job (as the kernel clamps before issuing).
+				if op.Off >= size {
+					return Result{}
+				}
+				n := op.Len
+				if max := size - op.Off; uint64(n) > max {
+					n = int(max)
+				}
+				data, err := cl.Read(p, ino, op.Off, n)
+				if err != nil {
+					return Result{Err: Classify(err)}
+				}
+				if len(data) > n {
+					data = data[:n]
+				}
+				return Result{Data: data}
+			case OpStat:
+				_, size, err := cl.Lookup(p, op.Path)
+				if err != nil {
+					return Result{Err: Classify(err)}
+				}
+				return Result{Size: size}
+			}
+			panic("check: op " + op.Kind.String() + " not supported by dfs world")
+		},
+		close: func() { m.Eng.Shutdown() },
+	}
+}
+
+// ---- dpc/DFS world (offloaded client behind the hybrid cache) ----
+
+func newDFSDPCWorld(name string) *World {
+	opts := dpc.DefaultOptions()
+	opts.Model.HostMemMB = 192
+	opts.Model.DPUMemMB = 8
+	opts.EnableKVFS = false
+	opts.EnableDFS = true
+	opts.CachePages = 128
+	opts.CacheBuckets = 16
+	sys := dpc.New(opts)
+	cl := sys.DFSClient()
+
+	return &World{
+		name: name,
+		caps: Caps{
+			Buffered: true,
+			Direct:   true,
+			Fsync:    true,
+			Align:    dfs.BlockSize,
+			MaxFile:  64 * 1024,
+		},
+		drive: func(fn func(p *sim.Proc)) { driveLoop(sys, fn) },
+		apply: func(p *sim.Proc, op Op) Result { return applyDPC(p, cl, op) },
+		settle: func(p *sim.Proc) { p.Sleep(5 * time.Millisecond) },
+		barrier: func(p *sim.Proc) {
+			if err := cl.Sync(p, 0); err != nil {
+				panic(fmt.Sprintf("check: barrier failed: %v", err))
+			}
+		},
+		close: func() { sys.StopDaemons(); sys.Shutdown() },
+	}
+}

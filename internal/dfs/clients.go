@@ -246,6 +246,30 @@ func (c *Core) Write(p *sim.Proc, ino uint64, off uint64, data []byte) error {
 	return nil
 }
 
+// SetSize publishes a new EOF to the home MDS synchronously and updates the
+// local delegation cache. The hybrid cache's buffered-write path calls this
+// before any data page lands in the cache, so flush-time write-back can
+// clamp whole-page writes to the file's true size. Sizes never shrink
+// (mdsUpdateSize takes the max), matching the extend-only Write path.
+func (c *Core) SetSize(p *sim.Proc, ino uint64, size uint64) error {
+	c.cpu.Exec(p, c.costs.DelegationCycles)
+	c.Ops.Inc()
+	resp := c.homeCall(p, c.b.HomeMDSOfIno(ino), mdsReq{Op: mdsUpdateSize, Ino: ino, Off: size, Len: 0})
+	if err := respErr(resp); err != nil {
+		return err
+	}
+	if size > c.sizes[ino] {
+		c.sizes[ino] = size
+	}
+	return nil
+}
+
+// SizeOf reports the locally cached size of an inode (delegation cache).
+func (c *Core) SizeOf(ino uint64) (uint64, bool) {
+	size, ok := c.sizes[ino]
+	return size, ok
+}
+
 // Read fetches the data shards directly from the data servers and
 // reassembles them (reconstructing from parity if a server is down).
 func (c *Core) Read(p *sim.Proc, ino uint64, off uint64, n int) ([]byte, error) {

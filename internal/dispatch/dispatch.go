@@ -269,6 +269,10 @@ func (d *Dispatcher) kvfsMeta(p *sim.Proc, fs *kvfs.FS, op uint32, hdr ReqHeader
 		return statusOnly(fs.Rename(p, path, path2))
 	case nvme.FileOpTruncate:
 		return statusOnly(fs.Truncate(p, hdr.Ino))
+	case nvme.FileOpSetattr:
+		// Size-only setattr: hdr.Off carries the new EOF (buffered writes
+		// publish it before their pages land in the cache).
+		return statusOnly(fs.SetSize(p, hdr.Ino, hdr.Off))
 	}
 	return nvmefs.Response{Status: nvme.StatusInvalid}
 }
@@ -289,6 +293,8 @@ func (d *Dispatcher) dfsMeta(p *sim.Proc, core *dfs.Core, op uint32, hdr ReqHead
 		}
 		a := kvfs.Attr{Ino: ino, Mode: kvfs.ModeFile, Size: size, Nlink: 1}
 		return nvmefs.Response{Status: nvme.StatusOK, Header: a.Marshal()}
+	case nvme.FileOpSetattr:
+		return statusOnly(core.SetSize(p, hdr.Ino, hdr.Off))
 	}
 	return nvmefs.Response{Status: nvme.StatusInvalid}
 }

@@ -35,6 +35,8 @@ func (fs *FS) fanout(p *sim.Proc, fns []func(pp *sim.Proc)) {
 // updates are written in place at 8 KB block granularity (§3.4).
 func (fs *FS) Write(p *sim.Proc, ino uint64, off uint64, data []byte) error {
 	fs.charge(p)
+	fs.lockIno(p, ino, true)
+	defer fs.unlockIno(ino, true)
 	a, ok := fs.getAttr(p, ino)
 	if !ok {
 		return ErrNotFound
@@ -60,15 +62,18 @@ func (fs *FS) Write(p *sim.Proc, ino uint64, off uint64, data []byte) error {
 		fs.cl.Put(p, SmallKey(ino), buf)
 
 	case a.Size <= SmallFileMax && a.Size > 0:
-		// Migration: the file just outgrew the small representation.
+		// Migration: the file just outgrew the small representation. Write
+		// the big blocks first and delete the small KV only once they are
+		// durable — the reverse order loses the whole file body if anything
+		// fails between the delete and the block writes.
 		cur, _ := fs.cl.Get(p, SmallKey(ino))
-		fs.cl.Delete(p, SmallKey(ino))
 		if err := fs.writeBigBlocks(p, ino, 0, cur); err != nil {
 			return err
 		}
 		if err := fs.writeBigBlocks(p, ino, off, data); err != nil {
 			return err
 		}
+		fs.cl.Delete(p, SmallKey(ino))
 
 	default:
 		if err := fs.writeBigBlocks(p, ino, off, data); err != nil {
@@ -120,6 +125,8 @@ func (fs *FS) writeBigBlocks(p *sim.Proc, ino uint64, off uint64, data []byte) e
 // Read returns up to n bytes from offset off.
 func (fs *FS) Read(p *sim.Proc, ino uint64, off uint64, n int) ([]byte, error) {
 	fs.charge(p)
+	fs.lockIno(p, ino, false)
+	defer fs.unlockIno(ino, false)
 	a, ok := fs.getAttr(p, ino)
 	if !ok {
 		return nil, ErrNotFound
@@ -207,9 +214,21 @@ func (b PageBackend) ReadPage(p *sim.Proc, ino, lpn uint64, pageSize int) ([]byt
 	return data, true
 }
 
-// WritePage implements cache.Backend.
-func (b PageBackend) WritePage(p *sim.Proc, ino, lpn uint64, data []byte) {
-	_ = b.FS.Write(p, ino, lpn*uint64(len(data)), data)
+// WritePage implements cache.Backend. The cache flushes whole pages, but
+// the file's true EOF is whatever metadata says: the write-back is clamped
+// to attr.Size so flushing the tail page of a 10 000-byte file does not
+// grow it to the next page boundary with zero padding. Pages wholly past
+// EOF (truncated or unlinked while cached) are dropped.
+func (b PageBackend) WritePage(p *sim.Proc, ino, lpn uint64, pageSize int, data []byte) {
+	off := lpn * uint64(pageSize)
+	a, ok := b.FS.getAttr(p, ino)
+	if !ok || off >= a.Size {
+		return
+	}
+	if end := off + uint64(len(data)); end > a.Size {
+		data = data[:a.Size-off]
+	}
+	_ = b.FS.Write(p, ino, off, data)
 }
 
 // ReadPageRange implements cache.RangeBackend: the whole run is one KVFS

@@ -44,6 +44,16 @@ type FS struct {
 
 	nextIno uint64
 
+	// Per-inode readers-writer locks. A KVFS data operation spans several
+	// KV ops (attr read, content read-modify-write, small→big migration,
+	// attr update) with simulated network latency between them; concurrent
+	// mutators of one file — flush workers, direct writes, truncate —
+	// interleaving those KV ops corrupt the file (e.g. a stale small-file
+	// KV surviving migration). Writers are exclusive per inode; readers are
+	// shared so prefetch fan-out keeps its parallelism.
+	inoLocks map[uint64]*inoLock
+	inoCond  *sim.Cond
+
 	// DPU-side caches, analogous to the kernel's icache/dcache.
 	dentryCache map[string]uint64 // DentryKey -> ino
 	attrCache   map[uint64]Attr
@@ -60,11 +70,54 @@ func New(m *model.Machine, cl *kv.Client) *FS {
 		m:           m,
 		cl:          cl,
 		nextIno:     1,
+		inoLocks:    map[uint64]*inoLock{},
+		inoCond:     sim.NewCond(m.Eng, "kvfs-inolock"),
 		dentryCache: map[string]uint64{},
 		attrCache:   map[uint64]Attr{},
 		negCache:    map[string]bool{},
 	}
 	return fs
+}
+
+type inoLock struct {
+	readers int
+	writer  bool
+}
+
+// lockIno acquires the per-inode lock (exclusive for mutators, shared for
+// readers). The sim engine is cooperative, so the state check and update
+// are atomic between Wait yields.
+func (fs *FS) lockIno(p *sim.Proc, ino uint64, exclusive bool) {
+	for {
+		l := fs.inoLocks[ino]
+		if l == nil {
+			l = &inoLock{}
+			fs.inoLocks[ino] = l
+		}
+		if exclusive {
+			if !l.writer && l.readers == 0 {
+				l.writer = true
+				return
+			}
+		} else if !l.writer {
+			l.readers++
+			return
+		}
+		fs.inoCond.Wait(p)
+	}
+}
+
+func (fs *FS) unlockIno(ino uint64, exclusive bool) {
+	l := fs.inoLocks[ino]
+	if exclusive {
+		l.writer = false
+	} else {
+		l.readers--
+	}
+	if !l.writer && l.readers == 0 {
+		delete(fs.inoLocks, ino)
+	}
+	fs.inoCond.Broadcast()
 }
 
 // Mount writes the root attribute KV. Must run in a sim process before any
@@ -311,9 +364,11 @@ func (fs *FS) Unlink(p *sim.Proc, path string) error {
 	if a.Mode == ModeDir {
 		return ErrIsDir
 	}
+	fs.lockIno(p, ino, true)
 	fs.deleteFileData(p, a)
 	fs.cl.Delete(p, AttrKey(ino))
 	delete(fs.attrCache, ino)
+	fs.unlockIno(ino, true)
 	fs.delDentry(p, pIno, leaf)
 	return nil
 }
@@ -382,9 +437,44 @@ func (fs *FS) deleteFileData(p *sim.Proc, a Attr) {
 	}
 }
 
+// SetSize extends a file's size without writing data (the metadata half of
+// a buffered write: the client publishes the new EOF before the data pages
+// reach the cache, so flush-time write-back can clamp to it). Shrinking is
+// not supported — only Truncate-to-zero is. Crossing SmallFileMax migrates
+// an existing small-file body to the big representation (blocks first,
+// small-KV delete last) so fsck's representation invariant holds.
+func (fs *FS) SetSize(p *sim.Proc, ino uint64, size uint64) error {
+	fs.charge(p)
+	fs.lockIno(p, ino, true)
+	defer fs.unlockIno(ino, true)
+	a, ok := fs.getAttr(p, ino)
+	if !ok {
+		return ErrNotFound
+	}
+	if a.Mode == ModeDir {
+		return ErrIsDir
+	}
+	if size <= a.Size {
+		return nil
+	}
+	if a.Size > 0 && a.Size <= SmallFileMax && size > SmallFileMax {
+		cur, _ := fs.cl.Get(p, SmallKey(ino))
+		if err := fs.writeBigBlocks(p, ino, 0, cur); err != nil {
+			return err
+		}
+		fs.cl.Delete(p, SmallKey(ino))
+	}
+	a.Size = size
+	a.Blocks = (size + BlockSize - 1) / BlockSize
+	fs.putAttr(p, a)
+	return nil
+}
+
 // Truncate sets a file's size to zero.
 func (fs *FS) Truncate(p *sim.Proc, ino uint64) error {
 	fs.charge(p)
+	fs.lockIno(p, ino, true)
+	defer fs.unlockIno(ino, true)
 	a, ok := fs.getAttr(p, ino)
 	if !ok {
 		return ErrNotFound

@@ -302,14 +302,36 @@ func TestPageBackendRoundTrip(t *testing.T) {
 	run(m, func(p *sim.Proc) {
 		ino, _ := fs.Create(p, "/pb")
 		payload := bytes.Repeat([]byte{7}, BlockSize)
-		b.WritePage(p, ino, 0, payload)
-		// WritePage extends the file.
+		// WritePage never extends the file: the EOF is published first
+		// (as the client's buffered-write path does) and write-back is
+		// clamped to it.
+		if err := fs.SetSize(p, ino, BlockSize); err != nil {
+			t.Fatalf("SetSize: %v", err)
+		}
+		b.WritePage(p, ino, 0, BlockSize, payload)
 		got, ok := b.ReadPage(p, ino, 0, BlockSize)
 		if !ok || !bytes.Equal(got, payload) {
 			t.Error("PageBackend round trip failed")
 		}
 		if _, ok := b.ReadPage(p, ino, 99, BlockSize); ok {
 			t.Error("ReadPage past EOF succeeded")
+		}
+		// A flush of a page wholly past EOF is dropped, and a tail page is
+		// clamped: neither may grow the file.
+		b.WritePage(p, ino, 5, BlockSize, payload)
+		if a, _ := fs.Getattr(p, ino); a.Size != BlockSize {
+			t.Errorf("WritePage past EOF grew file to %d", a.Size)
+		}
+		tail := uint64(BlockSize + 100)
+		if err := fs.SetSize(p, ino, tail); err != nil {
+			t.Fatalf("SetSize: %v", err)
+		}
+		b.WritePage(p, ino, 1, BlockSize, payload)
+		if a, _ := fs.Getattr(p, ino); a.Size != tail {
+			t.Errorf("tail-page flush grew file to %d, want %d", a.Size, tail)
+		}
+		if d, err := fs.Read(p, ino, BlockSize, 2*BlockSize); err != nil || len(d) != 100 {
+			t.Errorf("tail read = %d bytes, err %v, want 100", len(d), err)
 		}
 	})
 	m.Eng.Shutdown()
@@ -363,5 +385,58 @@ func TestKVFSDataModelProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestWriteMigrationCrossingSmallMax is the regression test for the
+// small→big migration ordering: a write that pushes an existing small file
+// past SmallFileMax must first copy the small body into big blocks, then
+// write the new data, and delete the small KV only after both are durable.
+// The reordered (delete-first) variant loses the small body whenever the
+// new write does not fully cover it.
+func TestWriteMigrationCrossingSmallMax(t *testing.T) {
+	m, cluster, fs := newTestFS(t)
+
+	first := make([]byte, 5000)
+	second := make([]byte, 6000)
+	for i := range first {
+		first[i] = byte(3*i + 1)
+	}
+	for i := range second {
+		second[i] = byte(5*i + 2)
+	}
+	want := make([]byte, 10000)
+	copy(want, first)
+	copy(want[4000:], second)
+
+	var got []byte
+	var probs []string
+	run(m, func(p *sim.Proc) {
+		ino, err := fs.Create(p, "/mig")
+		if err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		if err := fs.Write(p, ino, 0, first); err != nil {
+			t.Errorf("small write: %v", err)
+			return
+		}
+		// 4000+6000 = 10000 > SmallFileMax: triggers the migration.
+		if err := fs.Write(p, ino, 4000, second); err != nil {
+			t.Errorf("migrating write: %v", err)
+			return
+		}
+		got, err = fs.Read(p, ino, 0, 20000)
+		if err != nil {
+			t.Errorf("read: %v", err)
+		}
+		probs = fs.Fsck(p, cluster).Problems
+	})
+
+	if !bytes.Equal(got, want) {
+		t.Errorf("content mangled by migration: got %d bytes, want %d", len(got), len(want))
+	}
+	if len(probs) > 0 {
+		t.Errorf("fsck after migration: %v", probs)
 	}
 }

@@ -85,10 +85,19 @@ func ZipfGen(ioSize int, fileSize uint64, s float64) Generator {
 	if pages == 0 {
 		panic(fmt.Sprintf("workload: file %d smaller than I/O %d", fileSize, ioSize))
 	}
+	// One Zipf source per thread RNG, built on first use: rand.NewZipf
+	// precomputes lookup tables (oneOverRegion etc.), so rebuilding it on
+	// every access would dominate the generator's cost. Construction draws
+	// nothing from rng, and each Zipf keeps drawing from the same per-thread
+	// RNG it always did, so the access sequence is unchanged. The engine is
+	// cooperatively scheduled, so the plain map needs no locking.
+	zipfs := map[*rand.Rand]*rand.Zipf{}
 	return func(tid int, rng *rand.Rand, iter int) Access {
-		// Each thread builds its Zipf source lazily from its own RNG; the
-		// generator stays a pure function of (tid, rng, iter).
-		z := rand.NewZipf(rng, s, 1, pages-1)
+		z := zipfs[rng]
+		if z == nil {
+			z = rand.NewZipf(rng, s, 1, pages-1)
+			zipfs[rng] = z
+		}
 		pg := z.Uint64()
 		// Scatter the rank->page mapping so hot pages spread over buckets.
 		pg = pg * 2654435761 % pages

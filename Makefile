@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet torture check
+.PHONY: build test vet race torture check bench-json
 
 build:
 	$(GO) build ./...
@@ -11,9 +11,18 @@ vet:
 test:
 	$(GO) test ./...
 
+# Race-detector pass over the packages with shared mutable state reached
+# from multiple goroutines in tests (observability hub, hybrid cache).
+race:
+	$(GO) test -race ./internal/obs/... ./internal/cache/...
+
 # Short fixed-seed differential torture: every stack, 8 seeds, 2000 ops
 # each, replayed against the in-memory oracle (see internal/check).
 torture:
 	$(GO) run ./cmd/dpccheck -seeds 8 -ops 2000
 
-check: vet test torture
+# Machine-readable metrics + trace from the instrumented reference workload.
+bench-json:
+	$(GO) run ./cmd/dpcbench -metrics-out BENCH_metrics.json -trace-out BENCH_trace.json
+
+check: vet test race torture

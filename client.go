@@ -3,12 +3,14 @@ package dpc
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"dpc/internal/cache"
 	"dpc/internal/dispatch"
 	"dpc/internal/kvfs"
 	"dpc/internal/nvme"
 	"dpc/internal/nvmefs"
+	"dpc/internal/obs"
 	"dpc/internal/sim"
 )
 
@@ -52,6 +54,56 @@ type Client struct {
 	dispatchBit uint8
 	cacheHost   *cache.Host
 	ctl         *cache.Ctl
+
+	// Observability handles, cached at construction so the hot paths never
+	// look anything up. All nil when the system has no Obs attached.
+	o      *obs.Obs
+	hWrite *obs.Histogram
+	hRead  *obs.Histogram
+	hMeta  *obs.Histogram
+	hSync  *obs.Histogram
+}
+
+// newClient builds a client and caches its observability handles.
+func newClient(sys *System, bit uint8, host *cache.Host, ctl *cache.Ctl) *Client {
+	c := &Client{sys: sys, dispatchBit: bit, cacheHost: host, ctl: ctl}
+	if o := sys.M.Obs; o.Enabled() {
+		c.o = o
+		c.hWrite = o.Histogram("client.write.latency")
+		c.hRead = o.Histogram("client.read.latency")
+		c.hMeta = o.Histogram("client.meta.latency")
+		c.hSync = o.Histogram("client.sync.latency")
+	}
+	return c
+}
+
+// clientSpanNames maps FileOp codes to constant span names so tracing a
+// metadata op never builds a string.
+var clientSpanNames = [...]string{
+	nvme.FileOpNop:        "client.nop",
+	nvme.FileOpLookup:     "client.lookup",
+	nvme.FileOpCreate:     "client.create",
+	nvme.FileOpOpen:       "client.open",
+	nvme.FileOpRead:       "client.read",
+	nvme.FileOpWrite:      "client.write",
+	nvme.FileOpFlush:      "client.fsync",
+	nvme.FileOpGetattr:    "client.getattr",
+	nvme.FileOpSetattr:    "client.setattr",
+	nvme.FileOpMkdir:      "client.mkdir",
+	nvme.FileOpReaddir:    "client.readdir",
+	nvme.FileOpUnlink:     "client.unlink",
+	nvme.FileOpRmdir:      "client.rmdir",
+	nvme.FileOpRename:     "client.rename",
+	nvme.FileOpTruncate:   "client.truncate",
+	nvme.FileOpCacheEvict: "client.cache_evict",
+	nvme.FileOpBarrier:    "client.sync",
+}
+
+func clientSpanName(op uint32) string {
+	if int(op) < len(clientSpanNames) {
+		return clientSpanNames[op]
+	}
+	return "client.unknown"
 }
 
 // DirEntry is a directory listing entry.
@@ -82,6 +134,15 @@ func (c *Client) submit(p *sim.Proc, qid int, sub nvmefs.Submission) nvmefs.Comp
 
 // metaOp runs a path-based namespace operation and decodes the attribute.
 func (c *Client) metaOp(p *sim.Proc, qid int, op uint32, path, path2 string) (kvfs.Attr, error) {
+	s := c.o.Begin(p, clientSpanName(op))
+	start := p.Now()
+	a, err := c.doMetaOp(p, qid, op, path, path2)
+	c.hMeta.Observe(time.Duration(p.Now() - start))
+	s.End(p)
+	return a, err
+}
+
+func (c *Client) doMetaOp(p *sim.Proc, qid int, op uint32, path, path2 string) (kvfs.Attr, error) {
 	hdr := dispatch.ReqHeader{PathLen: uint16(len(path)), Aux: uint16(len(path2))}
 	comp := c.submit(p, qid, nvmefs.Submission{
 		FileOp:  op,
@@ -152,6 +213,15 @@ func (c *Client) StatPath(p *sim.Proc, qid int, path string) (Stat, error) {
 
 // Readdir lists a directory.
 func (c *Client) Readdir(p *sim.Proc, qid int, path string) ([]DirEntry, error) {
+	s := c.o.Begin(p, "client.readdir")
+	start := p.Now()
+	out, err := c.readdir(p, qid, path)
+	c.hMeta.Observe(time.Duration(p.Now() - start))
+	s.End(p)
+	return out, err
+}
+
+func (c *Client) readdir(p *sim.Proc, qid int, path string) ([]DirEntry, error) {
 	hdr := dispatch.ReqHeader{PathLen: uint16(len(path))}
 	comp := c.submit(p, qid, nvmefs.Submission{
 		FileOp:  nvme.FileOpReaddir,
@@ -176,13 +246,19 @@ func (c *Client) Readdir(p *sim.Proc, qid int, path string) ([]DirEntry, error) 
 
 // Sync flushes one file's dirty cache pages to the backend (fsync).
 func (f *File) Sync(p *sim.Proc, qid int) error {
+	c := f.c
+	s := c.o.Begin(p, "client.fsync")
+	start := p.Now()
 	hdr := dispatch.ReqHeader{Ino: f.Ino}
-	comp := f.c.submit(p, qid, nvmefs.Submission{
+	comp := c.submit(p, qid, nvmefs.Submission{
 		FileOp: nvme.FileOpFlush,
 		Header: hdr.Marshal(),
 		RHLen:  1,
 	})
-	return statusErr(comp.Status)
+	err := statusErr(comp.Status)
+	c.hSync.Observe(time.Duration(p.Now() - start))
+	s.End(p)
+	return err
 }
 
 // Truncate cuts the file to zero length and drops every cached page of it:
@@ -192,6 +268,13 @@ func (f *File) Sync(p *sim.Proc, qid int) error {
 // this inode, so no in-flight flush (whose EOF clamp read the pre-truncate
 // size) can land after the truncate and re-extend the file.
 func (f *File) Truncate(p *sim.Proc, qid int) error {
+	s := f.c.o.Begin(p, "client.truncate")
+	err := f.truncate(p, qid)
+	s.End(p)
+	return err
+}
+
+func (f *File) truncate(p *sim.Proc, qid int) error {
 	if f.c.cacheHost != nil {
 		f.c.cacheHost.InvalidateIno(p, f.Ino)
 	}
@@ -210,13 +293,18 @@ func (f *File) Truncate(p *sim.Proc, qid int) error {
 
 // Sync flushes the service's dirty cache pages to the backend.
 func (c *Client) Sync(p *sim.Proc, qid int) error {
+	s := c.o.Begin(p, "client.sync")
+	start := p.Now()
 	hdr := dispatch.ReqHeader{}
 	comp := c.submit(p, qid, nvmefs.Submission{
 		FileOp: nvme.FileOpBarrier,
 		Header: hdr.Marshal(),
 		RHLen:  1,
 	})
-	return statusErr(comp.Status)
+	err := statusErr(comp.Status)
+	c.hSync.Observe(time.Duration(p.Now() - start))
+	s.End(p)
+	return err
 }
 
 // CacheStats reports the host-side cache counters (hits, misses).
@@ -239,6 +327,16 @@ func (c *Client) CacheStats() (hits, misses int64) {
 // metadata op), so flush-time write-back can clamp whole-page flushes to
 // the true size instead of inflating it to the page boundary.
 func (f *File) Write(p *sim.Proc, qid int, off uint64, data []byte, direct bool) error {
+	c := f.c
+	s := c.o.Begin(p, "client.write")
+	start := p.Now()
+	err := f.write(p, qid, off, data, direct)
+	c.hWrite.Observe(time.Duration(p.Now() - start))
+	s.End(p)
+	return err
+}
+
+func (f *File) write(p *sim.Proc, qid int, off uint64, data []byte, direct bool) error {
 	c := f.c
 	ps := uint64(0)
 	if c.cacheHost != nil {
@@ -400,6 +498,16 @@ func (c *Client) writePageCached(p *sim.Proc, qid int, ino, lpn uint64, page []b
 // Like a kernel page-cache read, the result is clamped to the handle's EOF
 // and holes read as zeros.
 func (f *File) Read(p *sim.Proc, qid int, off uint64, n int, direct bool) ([]byte, error) {
+	c := f.c
+	s := c.o.Begin(p, "client.read")
+	start := p.Now()
+	out, err := f.read(p, qid, off, n, direct)
+	c.hRead.Observe(time.Duration(p.Now() - start))
+	s.End(p)
+	return out, err
+}
+
+func (f *File) read(p *sim.Proc, qid int, off uint64, n int, direct bool) ([]byte, error) {
 	c := f.c
 	ps := uint64(0)
 	if c.cacheHost != nil {

@@ -7,6 +7,10 @@
 //	dpcbench -quick          # shorter windows / fewer sweep points
 //	dpcbench -list           # list experiment IDs
 //	dpcbench -env            # print the simulated testbed (Table 1)
+//	dpcbench -metrics-out m.json [-trace-out t.json]
+//	                         # run the instrumented reference workload and
+//	                         # write a machine-readable metrics snapshot
+//	                         # (and optionally a Perfetto trace)
 package main
 
 import (
@@ -26,8 +30,19 @@ func main() {
 		quick  = flag.Bool("quick", false, "shorter measurement windows")
 		list   = flag.Bool("list", false, "list experiments and exit")
 		env    = flag.Bool("env", false, "print the simulated testbed and exit")
+
+		metricsOut = flag.String("metrics-out", "", "run the instrumented reference workload, write its metrics snapshot (JSON) to this file and exit")
+		traceOut   = flag.String("trace-out", "", "with -metrics-out: also write the span tree as Perfetto/Chrome trace JSON to this file")
 	)
 	flag.Parse()
+
+	if *metricsOut != "" {
+		if err := runMetricsScenario(*metricsOut, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics scenario:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range exp.All() {

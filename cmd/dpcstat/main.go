@@ -1,0 +1,101 @@
+// Command dpcstat pretty-prints a metrics snapshot produced by
+// `dpcbench -metrics-out` (the obs registry's JSON snapshot format):
+// counters and gauges grouped by layer, histograms as one summary row each.
+//
+// Usage:
+//
+//	dpcstat snapshot.json
+//	dpcstat < snapshot.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"dpc/internal/obs"
+)
+
+func main() {
+	var (
+		data []byte
+		err  error
+	)
+	switch len(os.Args) {
+	case 1:
+		data, err = io.ReadAll(os.Stdin)
+	case 2:
+		data, err = os.ReadFile(os.Args[1])
+	default:
+		fmt.Fprintln(os.Stderr, "usage: dpcstat [snapshot.json]")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpcstat:", err)
+		os.Exit(1)
+	}
+
+	var s obs.Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		fmt.Fprintln(os.Stderr, "dpcstat: not a metrics snapshot:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("snapshot at %v of virtual time\n", time.Duration(s.SimTimeNs))
+
+	if len(s.Counters) > 0 {
+		fmt.Println("\ncounters")
+		printGrouped(sortedKeys(s.Counters), func(name string) string {
+			return fmt.Sprintf("%d", s.Counters[name])
+		})
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Println("\ngauges")
+		printGrouped(sortedKeys(s.Gauges), func(name string) string {
+			return fmt.Sprintf("%.4g", s.Gauges[name])
+		})
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Println("\nhistograms")
+		fmt.Printf("  %-28s %8s %10s %10s %10s %10s\n", "", "count", "p50", "p99", "max", "mean")
+		for _, name := range sortedKeys(s.Histograms) {
+			h := s.Histograms[name]
+			mean := time.Duration(0)
+			if h.Count > 0 {
+				mean = time.Duration(h.SumNs / h.Count)
+			}
+			fmt.Printf("  %-28s %8d %10v %10v %10v %10v\n", name, h.Count,
+				time.Duration(h.P50Ns), time.Duration(h.P99Ns), time.Duration(h.MaxNs), mean)
+		}
+	}
+}
+
+// printGrouped prints name/value lines with a blank line between layers (the
+// first dot-separated segment of the metric name).
+func printGrouped(names []string, value func(string) string) {
+	prevLayer := ""
+	for _, name := range names {
+		layer := name
+		if i := strings.IndexByte(name, '.'); i >= 0 {
+			layer = name[:i]
+		}
+		if prevLayer != "" && layer != prevLayer {
+			fmt.Println()
+		}
+		prevLayer = layer
+		fmt.Printf("  %-36s %12s\n", name, value(name))
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -27,13 +27,21 @@ func main() {
 	traceNvme(*size)
 }
 
-func tracer(m *model.Machine, count *int) {
-	m.PCIe.Trace = func(ev pcie.Event) {
-		*count++
-		fmt.Printf("  %2d. [%8s] %-6s %-12s %5dB  @%v\n",
-			*count, ev.Op, ev.Dir, ev.Label, ev.Bytes, ev.At)
-	}
+// printer subscribes to a link and prints each PCIe operation with a running
+// number. reset() restarts the numbering between the write and read phases.
+type printer struct {
+	n int
 }
+
+func (pr *printer) attach(l *pcie.Link) {
+	l.Subscribe(func(ev pcie.Event) {
+		pr.n++
+		fmt.Printf("  %2d. [%8s] %-6s %-12s %5dB  @%v\n",
+			pr.n, ev.Op, ev.Dir, ev.Label, ev.Bytes, ev.At)
+	})
+}
+
+func (pr *printer) reset() { pr.n = 0 }
 
 func traceVirtio(size int) {
 	cfg := model.Default()
@@ -52,21 +60,20 @@ func traceVirtio(size int) {
 			}
 			return fuse.Response{Error: -38}
 		})
-	n := 0
+	pr := &printer{}
 	m.Eng.Go("trace", func(p *sim.Proc) {
 		fmt.Println("-- write --")
-		tracer(m, &n)
+		pr.attach(m.PCIe)
 		if err := tr.Write(p, 1, 1, 0, make([]byte, size)); err != nil {
 			fmt.Println("write error:", err)
 		}
-		writeDMAs := n
-		fmt.Printf("   write total: %d PCIe ops\n", writeDMAs)
-		n = 0
+		fmt.Printf("   write total: %d PCIe ops\n", pr.n)
+		pr.reset()
 		fmt.Println("-- read --")
 		if _, err := tr.Read(p, 1, 1, 0, size); err != nil {
 			fmt.Println("read error:", err)
 		}
-		fmt.Printf("   read total: %d PCIe ops\n", n)
+		fmt.Printf("   read total: %d PCIe ops\n", pr.n)
 	})
 	m.Eng.Run()
 	m.Eng.Shutdown()
@@ -90,17 +97,17 @@ func traceNvme(size int) {
 			}
 			return nvmefs.Response{Status: nvme.StatusInvalid}
 		})
-	n := 0
+	pr := &printer{}
 	m.Eng.Go("trace", func(p *sim.Proc) {
 		hdr := make([]byte, 16)
 		fmt.Println("-- write --")
-		tracer(m, &n)
+		pr.attach(m.PCIe)
 		d.Submit(p, 0, nvmefs.Submission{FileOp: nvme.FileOpWrite, Header: hdr, Payload: make([]byte, size)})
-		fmt.Printf("   write total: %d PCIe ops\n", n)
-		n = 0
+		fmt.Printf("   write total: %d PCIe ops\n", pr.n)
+		pr.reset()
 		fmt.Println("-- read --")
 		d.Submit(p, 0, nvmefs.Submission{FileOp: nvme.FileOpRead, Header: hdr, RHLen: 1, ReadLen: size})
-		fmt.Printf("   read total: %d PCIe ops\n", n)
+		fmt.Printf("   read total: %d PCIe ops\n", pr.n)
 	})
 	m.Eng.Run()
 	m.Eng.Shutdown()

@@ -39,6 +39,7 @@ import (
 	"dpc/internal/kvfs"
 	"dpc/internal/model"
 	"dpc/internal/nvmefs"
+	"dpc/internal/obs"
 	"dpc/internal/sim"
 	"dpc/internal/xform"
 )
@@ -144,6 +145,7 @@ func New(opts Options) *System {
 	if opts.EnableDFS {
 		sys.DFSBackend = dfs.NewBackend(m.Eng, m.Net, opts.DFS)
 		sys.DFSCore = dfs.NewCore(sys.DFSBackend, m.DPUNode, m.DPUCPU, opts.DFSCosts)
+		sys.DFSCore.AttachObs(m.Obs)
 		svc := &dispatch.Service{DFS: sys.DFSCore}
 		if opts.CachePages > 0 {
 			l := sys.newCacheLayout(opts)
@@ -208,12 +210,16 @@ func (sys *System) Shutdown() { sys.M.Eng.Shutdown() }
 // Now returns the current virtual time.
 func (sys *System) Now() sim.Time { return sys.M.Eng.Now() }
 
+// Obs returns the observability registry wired through the machine, or nil
+// when Options.Model.Obs was unset (instrumentation disabled).
+func (sys *System) Obs() *obs.Obs { return sys.M.Obs }
+
 // KVFSClient returns a client of the standalone KVFS service.
 func (sys *System) KVFSClient() *Client {
 	if sys.kvfsSvc == nil {
 		panic("dpc: KVFS not enabled")
 	}
-	return &Client{sys: sys, dispatchBit: 0, cacheHost: sys.kvfsHost, ctl: sys.kvfsSvc.Ctl}
+	return newClient(sys, 0, sys.kvfsHost, sys.kvfsSvc.Ctl)
 }
 
 // DFSClient returns a client of the distributed file service.
@@ -221,7 +227,7 @@ func (sys *System) DFSClient() *Client {
 	if sys.dfsSvc == nil {
 		panic("dpc: DFS not enabled")
 	}
-	return &Client{sys: sys, dispatchBit: 1, cacheHost: sys.dfsHost, ctl: sys.dfsSvc.Ctl}
+	return newClient(sys, 1, sys.dfsHost, sys.dfsSvc.Ctl)
 }
 
 // buildTransform assembles the optional block-transform chain: compression

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dpc/internal/model"
+	"dpc/internal/obs"
 	"dpc/internal/sim"
 	"dpc/internal/stats"
 )
@@ -90,6 +91,13 @@ type Ctl struct {
 	Evictions  stats.Counter
 	Prefetches stats.Counter
 	Fills      stats.Counter
+
+	// obs mirrors, cached at construction; nil no-op sinks when disabled.
+	o           *obs.Obs
+	oFlushes    *obs.Counter
+	oEvictions  *obs.Counter
+	oPrefetches *obs.Counter
+	oFills      *obs.Counter
 }
 
 // Stop makes the flush daemon exit after its current sleep, letting
@@ -111,6 +119,13 @@ func NewCtl(m *model.Machine, l Layout, backend Backend, cfg CtlConfig) *Ctl {
 		hands:    make([]int, l.Buckets),
 		streams:  map[uint64][]*stream{},
 		inflight: map[[2]uint64]bool{},
+	}
+	if o := m.Obs; o.Enabled() {
+		c.o = o
+		c.oFlushes = o.Counter("cache.ctl.flushes")
+		c.oEvictions = o.Counter("cache.ctl.evictions")
+		c.oPrefetches = o.Counter("cache.ctl.prefetches")
+		c.oFills = o.Counter("cache.ctl.fills")
 	}
 	if cfg.FlushEnabled {
 		m.Eng.Go("cache-flushd", c.flushDaemon)
@@ -175,6 +190,13 @@ func (c *Ctl) flushDaemon(p *sim.Proc) {
 // processes (a serial flusher could never keep up with write-back load).
 // It returns the number flushed.
 func (c *Ctl) FlushPass(p *sim.Proc, maxPages int) int {
+	s := c.o.Begin(p, "cache.flush_pass")
+	n := c.flushPass(p, maxPages)
+	s.End(p)
+	return n
+}
+
+func (c *Ctl) flushPass(p *sim.Proc, maxPages int) int {
 	var dirty []int
 	const chunkEntries = 128
 	for base := 0; base < c.L.Total && len(dirty) < maxPages; base += chunkEntries {
@@ -273,6 +295,13 @@ func (c *Ctl) FlushIno(p *sim.Proc, ino uint64) int {
 // flushOne safely flushes entry i: read-lock, pull the page to DPU DRAM,
 // process, write to the backend, mark clean, unlock.
 func (c *Ctl) flushOne(p *sim.Proc, i int) bool {
+	s := c.o.Begin(p, "cache.flush_page")
+	ok := c.doFlushOne(p, i)
+	s.End(p)
+	return ok
+}
+
+func (c *Ctl) doFlushOne(p *sim.Proc, i int) bool {
 	if !c.lock(p, i, LockRead) {
 		return false
 	}
@@ -289,6 +318,7 @@ func (c *Ctl) flushOne(p *sim.Proc, i int) bool {
 	c.setStatus(p, i, StatusClean)
 	c.unlock(p, i)
 	c.Flushes.Inc()
+	c.oFlushes.Inc()
 	return true
 }
 
@@ -298,6 +328,13 @@ func (c *Ctl) flushOne(p *sim.Proc, i int) bool {
 // the entry clean. Returns the entry index, or -1 if the bucket is
 // unreclaimable right now.
 func (c *Ctl) FillPage(p *sim.Proc, ino, lpn uint64, data []byte) int {
+	s := c.o.Begin(p, "cache.fill")
+	idx := c.fillPage(p, ino, lpn, data)
+	s.End(p)
+	return idx
+}
+
+func (c *Ctl) fillPage(p *sim.Proc, ino, lpn uint64, data []byte) int {
 	if len(data) != c.L.PageSize {
 		panic(fmt.Sprintf("cache: fill size %d != page size %d", len(data), c.L.PageSize))
 	}
@@ -367,6 +404,7 @@ func (c *Ctl) FillPage(p *sim.Proc, ino, lpn uint64, data []byte) int {
 	c.setStatus(p, target, StatusClean)
 	c.unlock(p, target)
 	c.Fills.Inc()
+	c.oFills.Inc()
 	return target
 }
 
@@ -407,6 +445,7 @@ func (c *Ctl) evictClean(p *sim.Proc, bucket int, entries []Entry) int {
 		c.m.PCIe.AtomicFetchAdd32(p, c.m.HostMem, c.L.Base+12, 1, "cache-free-inc")
 		c.unlock(p, i)
 		c.Evictions.Inc()
+		c.oEvictions.Inc()
 		return i
 	}
 	return -1
@@ -416,6 +455,13 @@ func (c *Ctl) evictClean(p *sim.Proc, bucket int, entries []Entry) int {
 // that failed, flushing dirty entries if nothing clean is available.
 // Returns the number of entries freed.
 func (c *Ctl) ReclaimBucket(p *sim.Proc, ino, lpn uint64, want int) int {
+	s := c.o.Begin(p, "cache.reclaim")
+	freed := c.reclaimBucket(p, ino, lpn, want)
+	s.End(p)
+	return freed
+}
+
+func (c *Ctl) reclaimBucket(p *sim.Proc, ino, lpn uint64, want int) int {
 	c.m.DPUExec(p, c.m.Cfg.Costs.DPUCacheCtl)
 	bucket := c.L.BucketOf(ino, lpn)
 	lo, _ := c.L.BucketEntries(bucket)
@@ -449,6 +495,7 @@ func (c *Ctl) ReclaimBucket(p *sim.Proc, ino, lpn uint64, want int) int {
 			c.m.PCIe.AtomicFetchAdd32(p, c.m.HostMem, c.L.Base+12, 1, "cache-free-inc")
 			freed++
 			c.Evictions.Inc()
+			c.oEvictions.Inc()
 		}
 		c.unlock(p, i)
 	}
@@ -551,6 +598,7 @@ func (c *Ctl) NotifyRead(p *sim.Proc, ino, lpn uint64) {
 					if pg != nil {
 						c.FillPage(pp, ino, need[i]+uint64(k), pg)
 						c.Prefetches.Inc()
+						c.oPrefetches.Inc()
 					}
 				}
 				i = j

@@ -5,6 +5,7 @@ import (
 
 	"dpc/internal/mem"
 	"dpc/internal/model"
+	"dpc/internal/obs"
 	"dpc/internal/sim"
 	"dpc/internal/stats"
 )
@@ -21,11 +22,24 @@ type Host struct {
 	Misses    stats.Counter
 	CachedWr  stats.Counter
 	WriteFull stats.Counter
+
+	// obs mirrors, cached at construction; nil no-op sinks when disabled.
+	oHits      *obs.Counter
+	oMisses    *obs.Counter
+	oCachedWr  *obs.Counter
+	oWriteFull *obs.Counter
 }
 
 // NewHost wraps an initialized layout.
 func NewHost(m *model.Machine, l Layout) *Host {
-	return &Host{m: m, L: l}
+	h := &Host{m: m, L: l}
+	if o := m.Obs; o.Enabled() {
+		h.oHits = o.Counter("cache.host.hits")
+		h.oMisses = o.Counter("cache.host.misses")
+		h.oCachedWr = o.Counter("cache.host.cached_writes")
+		h.oWriteFull = o.Counter("cache.host.write_full")
+	}
+	return h
 }
 
 // findEntry scans a bucket's chain for <ino, lpn>, returning the entry index
@@ -54,11 +68,13 @@ func (h *Host) Lookup(p *sim.Proc, ino, lpn uint64) ([]byte, bool) {
 	i := h.findEntry(ino, lpn)
 	if i < 0 {
 		h.Misses.Inc()
+		h.oMisses.Inc()
 		return nil, false
 	}
 	a := h.L.EntryAddr(i)
 	if !h.m.HostMem.CompareAndSwap32(a+offLock, LockNone, LockRead) {
 		h.Misses.Inc()
+		h.oMisses.Inc()
 		return nil, false
 	}
 	// Re-check under the lock: the entry may have been replaced.
@@ -66,6 +82,7 @@ func (h *Host) Lookup(p *sim.Proc, ino, lpn uint64) ([]byte, bool) {
 	if (e.Status != StatusClean && e.Status != StatusDirty) || e.Ino != ino || e.LPN != lpn {
 		h.m.HostMem.PutUint32(a+offLock, LockNone)
 		h.Misses.Inc()
+		h.oMisses.Inc()
 		return nil, false
 	}
 	data := h.m.HostMem.Read(h.L.PageAddr(i), h.L.PageSize)
@@ -75,6 +92,7 @@ func (h *Host) Lookup(p *sim.Proc, ino, lpn uint64) ([]byte, bool) {
 	h.m.HostMem.Slice(a+offRef, 1)[0] = 1
 	h.m.HostMem.PutUint32(a+offLock, LockNone)
 	h.Hits.Inc()
+	h.oHits.Inc()
 	return data, true
 }
 
@@ -120,6 +138,7 @@ func (h *Host) WritePage(p *sim.Proc, ino, lpn uint64, data []byte) bool {
 		h.m.HostMem.PutUint32(a+offStatus, StatusDirty)
 		h.m.HostMem.PutUint32(a+offLock, LockNone)
 		h.CachedWr.Inc()
+		h.oCachedWr.Inc()
 		return true
 	}
 
@@ -148,9 +167,11 @@ func (h *Host) WritePage(p *sim.Proc, ino, lpn uint64, data []byte) bool {
 		// a concurrent DPU fill claim a second entry for this page.
 		h.m.HostExec(p, h.m.Cfg.Costs.HostCopyPerPage*int64((h.L.PageSize+4095)/4096))
 		h.CachedWr.Inc()
+		h.oCachedWr.Inc()
 		return true
 	}
 	h.WriteFull.Inc()
+	h.oWriteFull.Inc()
 	return false
 }
 

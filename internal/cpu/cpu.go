@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"dpc/internal/obs"
 	"dpc/internal/sim"
 )
 
@@ -19,6 +20,11 @@ type Pool struct {
 	cores  int
 	freqHz int64
 	res    *sim.Resource
+
+	// obs hooks, cached at AttachObs time; nil (a no-op sink) when
+	// observability is off, so the hot path stays allocation-free.
+	busyNs *obs.Counter
+	execs  *obs.Counter
 
 	// SwitchOverhead is added to every execution that finds the pool
 	// contended (more runnable work than cores), modeling context-switch
@@ -42,6 +48,16 @@ func NewPool(eng *sim.Engine, name string, cores int, freqHz int64) *Pool {
 		freqHz: freqHz,
 		res:    sim.NewResource(eng, name, cores),
 	}
+}
+
+// AttachObs registers this pool's busy-time and execution counters
+// ("cpu.<name>.busy_ns", "cpu.<name>.execs"). Safe with a nil hub.
+func (c *Pool) AttachObs(o *obs.Obs) {
+	if !o.Enabled() {
+		return
+	}
+	c.busyNs = o.Counter("cpu." + c.name + ".busy_ns")
+	c.execs = o.Counter("cpu." + c.name + ".execs")
 }
 
 // Name returns the pool name.
@@ -74,6 +90,8 @@ func (c *Pool) ExecDuration(p *sim.Proc, d time.Duration) {
 	}
 	p.Sleep(d)
 	c.res.Release(1)
+	c.execs.Inc()
+	c.busyNs.Add(int64(d))
 }
 
 // Contended reports whether there is currently more runnable work than cores.

@@ -6,6 +6,7 @@ import (
 
 	"dpc/internal/cpu"
 	"dpc/internal/fabric"
+	"dpc/internal/obs"
 	"dpc/internal/sim"
 	"dpc/internal/stats"
 )
@@ -155,6 +156,20 @@ type Core struct {
 	DelegHits   stats.Counter
 	ECBlocks    stats.Counter
 	RecallsSeen stats.Counter
+
+	// Obs, when set (before first use), records dfs.read/dfs.write spans
+	// and mirrors Ops into "dfs.core.ops". Nil no-ops.
+	Obs  *obs.Obs
+	oOps *obs.Counter
+}
+
+// AttachObs enables span/counter recording on the core. Safe with nil.
+func (c *Core) AttachObs(o *obs.Obs) {
+	if !o.Enabled() {
+		return
+	}
+	c.Obs = o
+	c.oOps = o.Counter("dfs.core.ops")
 }
 
 // NewCore creates an optimized client core on the given CPU pool and node.
@@ -231,8 +246,11 @@ func (c *Core) Lookup(p *sim.Proc, path string) (uint64, uint64, error) {
 // and writes the shards directly to the data servers; the size update goes
 // to the MDS lazily (one-way message, not waited on).
 func (c *Core) Write(p *sim.Proc, ino uint64, off uint64, data []byte) error {
+	s := c.Obs.Begin(p, "dfs.write")
+	defer s.End(p)
 	c.cpu.Exec(p, c.costs.PerOpCycles+c.costs.ECCyclesPerByte*int64(len(data)))
 	c.Ops.Inc()
+	c.oOps.Inc()
 	c.ECBlocks.Add(int64((len(data) + BlockSize - 1) / BlockSize))
 	if errs := c.b.writeBlocksFrom(p, c.node, ino, off, data); errs != "" {
 		return fmt.Errorf("%w: %s", ErrRemote, errs)
@@ -273,8 +291,11 @@ func (c *Core) SizeOf(ino uint64) (uint64, bool) {
 // Read fetches the data shards directly from the data servers and
 // reassembles them (reconstructing from parity if a server is down).
 func (c *Core) Read(p *sim.Proc, ino uint64, off uint64, n int) ([]byte, error) {
+	s := c.Obs.Begin(p, "dfs.read")
+	defer s.End(p)
 	c.cpu.Exec(p, c.costs.PerOpCycles)
 	c.Ops.Inc()
+	c.oOps.Inc()
 	if size, ok := c.sizes[ino]; ok {
 		if off >= size {
 			return nil, nil

@@ -9,6 +9,7 @@ import (
 	"dpc/internal/model"
 	"dpc/internal/nvme"
 	"dpc/internal/nvmefs"
+	"dpc/internal/obs"
 	"dpc/internal/sim"
 	"dpc/internal/stats"
 )
@@ -74,6 +75,11 @@ type Dispatcher struct {
 
 	Requests   stats.Counter
 	CacheFills stats.Counter
+
+	// obs mirrors, cached at construction; nil no-op sinks when disabled.
+	o           *obs.Obs
+	oRequests   *obs.Counter
+	oCacheFills *obs.Counter
 }
 
 // New creates a dispatcher. Either service may be nil.
@@ -81,12 +87,54 @@ func New(m *model.Machine, kvfsSvc, dfsSvc *Service) *Dispatcher {
 	d := &Dispatcher{m: m}
 	d.services[nvme.DispatchKVFS] = kvfsSvc
 	d.services[nvme.DispatchDFS] = dfsSvc
+	if o := m.Obs; o.Enabled() {
+		d.o = o
+		d.oRequests = o.Counter("dispatch.requests")
+		d.oCacheFills = o.Counter("dispatch.cache_fills")
+	}
 	return d
+}
+
+// opSpanNames maps FileOp codes to constant span names so the traced path
+// never builds a string per request.
+var opSpanNames = [...]string{
+	nvme.FileOpNop:        "dispatch.nop",
+	nvme.FileOpLookup:     "dispatch.lookup",
+	nvme.FileOpCreate:     "dispatch.create",
+	nvme.FileOpOpen:       "dispatch.open",
+	nvme.FileOpRead:       "dispatch.read",
+	nvme.FileOpWrite:      "dispatch.write",
+	nvme.FileOpFlush:      "dispatch.flush",
+	nvme.FileOpGetattr:    "dispatch.getattr",
+	nvme.FileOpSetattr:    "dispatch.setattr",
+	nvme.FileOpMkdir:      "dispatch.mkdir",
+	nvme.FileOpReaddir:    "dispatch.readdir",
+	nvme.FileOpUnlink:     "dispatch.unlink",
+	nvme.FileOpRmdir:      "dispatch.rmdir",
+	nvme.FileOpRename:     "dispatch.rename",
+	nvme.FileOpTruncate:   "dispatch.truncate",
+	nvme.FileOpCacheEvict: "dispatch.cache_evict",
+	nvme.FileOpBarrier:    "dispatch.barrier",
+}
+
+func opSpanName(op uint32) string {
+	if int(op) < len(opSpanNames) {
+		return opSpanNames[op]
+	}
+	return "dispatch.unknown"
 }
 
 // Handle implements nvmefs.Handler.
 func (d *Dispatcher) Handle(p *sim.Proc, req nvmefs.Request) nvmefs.Response {
+	s := d.o.Begin(p, opSpanName(req.SQE.FileOp))
+	resp := d.handle(p, req)
+	s.End(p)
+	return resp
+}
+
+func (d *Dispatcher) handle(p *sim.Proc, req nvmefs.Request) nvmefs.Response {
 	d.Requests.Inc()
+	d.oRequests.Inc()
 	svc := d.services[req.SQE.Dispatch&1]
 	if svc == nil {
 		return nvmefs.Response{Status: nvme.StatusInvalid}
@@ -140,6 +188,7 @@ func (d *Dispatcher) handleRead(p *sim.Proc, svc *Service, hdr ReqHeader) nvmefs
 		}
 		if idx := svc.Ctl.FillPage(p, hdr.Ino, lpn, page); idx >= 0 {
 			d.CacheFills.Inc()
+			d.oCacheFills.Inc()
 			// Only the cache entry index travels back, in the response
 			// header: RH[0]=1, RH[1:5]=index.
 			return nvmefs.Response{Status: nvme.StatusOK, Header: fillHeader(idx)}

@@ -34,6 +34,8 @@ func (fs *FS) fanout(p *sim.Proc, fns []func(pp *sim.Proc)) {
 // file grows past 8 KB it migrates to the big-file representation, where
 // updates are written in place at 8 KB block granularity (§3.4).
 func (fs *FS) Write(p *sim.Proc, ino uint64, off uint64, data []byte) error {
+	s := fs.m.Obs.Begin(p, "kvfs.write")
+	defer s.End(p)
 	fs.charge(p)
 	fs.lockIno(p, ino, true)
 	defer fs.unlockIno(ino, true)
@@ -124,6 +126,8 @@ func (fs *FS) writeBigBlocks(p *sim.Proc, ino uint64, off uint64, data []byte) e
 
 // Read returns up to n bytes from offset off.
 func (fs *FS) Read(p *sim.Proc, ino uint64, off uint64, n int) ([]byte, error) {
+	s := fs.m.Obs.Begin(p, "kvfs.read")
+	defer s.End(p)
 	fs.charge(p)
 	fs.lockIno(p, ino, false)
 	defer fs.unlockIno(ino, false)

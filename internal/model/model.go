@@ -11,6 +11,7 @@ import (
 	"dpc/internal/cpu"
 	"dpc/internal/fabric"
 	"dpc/internal/mem"
+	"dpc/internal/obs"
 	"dpc/internal/pcie"
 	"dpc/internal/sim"
 	"dpc/internal/ssd"
@@ -82,6 +83,12 @@ type Config struct {
 	// DPUMemMB is DPU DRAM (bounded; motivates the hybrid cache).
 	DPUMemMB int
 
+	// Obs, when non-nil, enables cross-layer observability: CPU pools,
+	// the PCIe link and every component built on this machine register
+	// their metrics and spans with it. Nil (the default) keeps all
+	// instrumented hot paths allocation-free no-ops.
+	Obs *obs.Obs
+
 	Costs Costs
 }
 
@@ -151,6 +158,10 @@ type Machine struct {
 	HostNode *fabric.Node
 	DPUNode  *fabric.Node
 
+	// Obs is the machine's observability hub (nil when disabled).
+	// Components built on the machine read it at construction time.
+	Obs *obs.Obs
+
 	hostBump mem.Addr
 	dpuBump  mem.Addr
 }
@@ -179,7 +190,47 @@ func NewMachine(cfg Config) *Machine {
 		hostBump: hostMem.Base(),
 		dpuBump:  dpuMem.Base(),
 	}
+	if cfg.Obs != nil {
+		m.AttachObs(cfg.Obs)
+	}
 	return m
+}
+
+// AttachObs enables observability on an assembled machine: CPU pools get
+// busy-time counters and a PCIe subscriber bridges every link operation
+// into obs counters plus span annotations on the issuing process. Must be
+// called before dependent components (drivers, caches, services) are
+// built, since they cache m.Obs at construction.
+func (m *Machine) AttachObs(o *obs.Obs) {
+	if !o.Enabled() || m.Obs != nil {
+		return
+	}
+	m.Obs = o
+	m.HostCPU.AttachObs(o)
+	m.DPUCPU.AttachObs(o)
+	dmas := o.Counter("pcie.link.dmas")
+	h2d := o.Counter("pcie.link.dma_bytes_h2d")
+	d2h := o.Counter("pcie.link.dma_bytes_d2h")
+	mmios := o.Counter("pcie.link.mmios")
+	atomics := o.Counter("pcie.link.atomics")
+	m.PCIe.Subscribe(func(ev pcie.Event) {
+		switch ev.Op {
+		case pcie.OpDMA:
+			dmas.Inc()
+			if ev.Dir == pcie.HostToDev {
+				h2d.Add(int64(ev.Bytes))
+			} else {
+				d2h.Add(int64(ev.Bytes))
+			}
+			o.Annotate(ev.Proc, "dma:"+ev.Label, int64(ev.Bytes))
+		case pcie.OpMMIO:
+			mmios.Inc()
+			o.Annotate(ev.Proc, "mmio:"+ev.Label, int64(ev.Bytes))
+		default:
+			atomics.Inc()
+			o.Annotate(ev.Proc, "atomic:"+ev.Label, int64(ev.Bytes))
+		}
+	})
 }
 
 // AllocHost reserves size bytes of host memory, aligned to align (a power of
@@ -210,7 +261,9 @@ func allocBump(bump *mem.Addr, r *mem.Region, size, align int) mem.Addr {
 
 // NewSSD attaches a local NVMe SSD to the machine (the Ext4 baseline's disk).
 func (m *Machine) NewSSD() *ssd.Device {
-	return ssd.New(m.Eng, m.Cfg.SSD)
+	dev := ssd.New(m.Eng, m.Cfg.SSD)
+	dev.AttachObs(m.Obs)
+	return dev
 }
 
 // HostExec charges cycles to the host CPU.

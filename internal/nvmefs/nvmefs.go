@@ -19,6 +19,7 @@ import (
 	"dpc/internal/mem"
 	"dpc/internal/model"
 	"dpc/internal/nvme"
+	"dpc/internal/obs"
 	"dpc/internal/sim"
 )
 
@@ -102,6 +103,9 @@ type queueState struct {
 	pending map[uint16]*pendingCmd // by CID
 	slotOf  map[uint16]int
 	subOf   map[uint16]*Submission
+	// spanOf carries the submitter's span across the host→TGT hop so the
+	// DPU-side spans nest under the client operation that issued the CID.
+	spanOf  map[uint16]obs.Span
 	freeCID []uint16
 }
 
@@ -112,6 +116,10 @@ type Driver struct {
 	cfg     Config
 	handler Handler
 	queues  []*queueState
+
+	// o is the machine's observability hub (nil no-op when disabled).
+	o          *obs.Obs
+	oCompleted *obs.Counter
 
 	// Completed counts finished commands.
 	Completed int64
@@ -124,6 +132,10 @@ func NewDriver(m *model.Machine, cfg Config, handler Handler) *Driver {
 		panic(fmt.Sprintf("nvmefs: bad config %+v", cfg))
 	}
 	d := &Driver{m: m, cfg: cfg, handler: handler}
+	if o := m.Obs; o.Enabled() {
+		d.o = o
+		d.oCompleted = o.Counter("nvmefs.driver.completed")
+	}
 	for qid := 0; qid < cfg.Queues; qid++ {
 		sqBase := m.AllocHost(cfg.Depth*nvme.SQESize, 4096)
 		cqBase := m.AllocHost(cfg.Depth*nvme.CQESize, 4096)
@@ -136,6 +148,7 @@ func NewDriver(m *model.Machine, cfg Config, handler Handler) *Driver {
 			pending:  map[uint16]*pendingCmd{},
 			slotOf:   map[uint16]int{},
 			subOf:    map[uint16]*Submission{},
+			spanOf:   map[uint16]obs.Span{},
 			wStride:  64 + cfg.MaxIO,
 			rStride:  cfg.RHCap + cfg.MaxIO,
 		}
@@ -178,6 +191,7 @@ func (d *Driver) Submit(p *sim.Proc, qid int, sub Submission) Completion {
 
 	// Syscall + fs-adapter conversion. No FUSE layer, no payload copy: the
 	// PRP points straight at the request buffer.
+	s := d.o.Begin(p, "nvmefs.submit")
 	d.m.HostExec(p, costs.HostSyscall+costs.HostSubmit)
 
 	// Acquire a buffer slot and a CID, then an SQ slot.
@@ -235,6 +249,9 @@ func (d *Driver) Submit(p *sim.Proc, qid int, sub Submission) Completion {
 	qs.pending[cid] = pd
 	qs.slotOf[cid] = slot
 	qs.subOf[cid] = &sub
+	if s.Valid() {
+		qs.spanOf[cid] = s
+	}
 
 	// Ring the doorbell with the new tail and kick the TGT thread.
 	d.m.PCIe.MMIOWrite32(p, d.m.DPUMem, qs.doorbell, uint32(qs.qp.SQTail), "sq-doorbell")
@@ -264,10 +281,15 @@ func (d *Driver) Submit(p *sim.Proc, qid int, sub Submission) Completion {
 	delete(qs.pending, cid)
 	delete(qs.slotOf, cid)
 	delete(qs.subOf, cid)
+	if s.Valid() {
+		delete(qs.spanOf, cid)
+	}
 	qs.freeSlots = append(qs.freeSlots, slot)
 	qs.freeCID = append(qs.freeCID, cid)
 	qs.slotCond.Signal()
 	d.Completed++
+	d.oCompleted.Inc()
+	s.End(p)
 	return comp
 }
 
@@ -297,6 +319,11 @@ func (d *Driver) processOne(p *sim.Proc, qs *queueState) {
 	link := d.m.PCIe
 	hm := d.m.HostMem
 
+	// The TGT span opens before the SQE fetch (the fetch itself is part of
+	// the TGT's work) and is linked under the submitter's span once the CID
+	// is decoded.
+	ts := d.o.Begin(p, "nvmefs.tgt")
+
 	// ① Retrieve the SQE.
 	sqeAddr := qs.qp.SQ.EntryAddr(qs.qp.SQHead)
 	sqeBytes := link.DMARead(p, hm, sqeAddr, nvme.SQESize, "sqe")
@@ -305,10 +332,12 @@ func (d *Driver) processOne(p *sim.Proc, qs *queueState) {
 	if err != nil {
 		panic("nvmefs: corrupt SQE: " + err.Error())
 	}
+	ts.SetParent(qs.spanOf[sqe.CID])
 	d.m.DPUExec(p, costs.DPUCmdParse)
 
 	if err := sqe.Validate(); err != nil {
 		d.complete(p, qs, sqe, Response{Status: nvme.StatusInvalid})
+		ts.End(p)
 		return
 	}
 	// ② Locate the data buffer: the PRP/buffer-descriptor fetch also
@@ -324,6 +353,7 @@ func (d *Driver) processOne(p *sim.Proc, qs *queueState) {
 		}
 	}
 	d.m.Eng.Go("nvme-worker", func(wp *sim.Proc) {
+		ws := d.o.BeginChild(wp, ts, "nvmefs.worker")
 		resp := d.handler(wp, req)
 		// Write back the response header + data, one contiguous DMA.
 		if sqe.ReadLen > 0 && resp.Status == nvme.StatusOK && (len(resp.Header) > 0 || len(resp.Data) > 0) {
@@ -340,7 +370,9 @@ func (d *Driver) processOne(p *sim.Proc, qs *queueState) {
 			resp.Result = uint32(len(resp.Data))
 		}
 		d.complete(wp, qs, sqe, resp)
+		ws.End(wp)
 	})
+	ts.End(p)
 }
 
 // complete posts the CQE (④) and interrupts the host.

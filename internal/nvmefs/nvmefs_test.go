@@ -127,7 +127,7 @@ func TestSQEOnTheWireIsBidirectionalVendorCommand(t *testing.T) {
 	// actually crosses the wire.
 	m, d, _ := newTestDriver(t, 1)
 	var sniffed []nvme.SQE
-	m.PCIe.Trace = func(ev pcie.Event) {
+	m.PCIe.Subscribe(func(ev pcie.Event) {
 		if ev.Label == "sqe" {
 			sqe, err := nvme.UnmarshalSQE(m.HostMem.Read(ev.Addr, nvme.SQESize))
 			if err != nil {
@@ -136,7 +136,7 @@ func TestSQEOnTheWireIsBidirectionalVendorCommand(t *testing.T) {
 			}
 			sniffed = append(sniffed, sqe)
 		}
-	}
+	})
 	m.Eng.Go("app", func(p *sim.Proc) {
 		c := d.Submit(p, 2, Submission{
 			FileOp:   nvme.FileOpWrite,

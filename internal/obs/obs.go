@@ -1,0 +1,101 @@
+// Package obs is the unified cross-layer observability hub: a registry of
+// typed counters, gauges and bounded histograms, plus span-based request
+// tracing over the deterministic virtual clock. One client operation yields
+// a nested span tree across client → cache → nvme-fs transport → dispatch →
+// backend → storage, with PCIe DMA events attached as span annotations.
+//
+// Spans export as Chrome trace-event / Perfetto JSON and metrics as a stable
+// JSON snapshot; identical seeds produce byte-identical output.
+//
+// The whole layer is opt-in and free when off: every entry point nil-checks
+// its receiver, so instrumented hot paths compile down to a pointer test and
+// allocate nothing when no Obs is attached (see TestDisabledPathAllocates
+// Nothing). Components therefore call o.Begin/o.Counter(...).Add unconditionally.
+//
+// Metric names follow the layer.component.metric scheme, e.g.
+// "cache.host.hits", "pcie.link.dma_bytes_h2d", "cpu.dpu-cpu.busy_ns".
+package obs
+
+import (
+	"dpc/internal/sim"
+)
+
+// Obs bundles a metrics registry and a span tracer. A nil *Obs disables
+// the whole layer: every method no-ops and returns nil/zero handles whose
+// own methods no-op in turn.
+type Obs struct {
+	reg *Registry
+	tr  *Tracer
+}
+
+// New returns an enabled observability hub.
+func New() *Obs {
+	return &Obs{reg: NewRegistry(), tr: newTracer()}
+}
+
+// Enabled reports whether the hub records anything.
+func (o *Obs) Enabled() bool { return o != nil }
+
+// Registry returns the metrics registry (nil when disabled).
+func (o *Obs) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Tracer returns the span tracer (nil when disabled).
+func (o *Obs) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.tr
+}
+
+// Counter returns the named counter (nil, hence a no-op sink, when disabled).
+func (o *Obs) Counter(name string) *Counter { return o.Registry().Counter(name) }
+
+// Gauge returns the named gauge.
+func (o *Obs) Gauge(name string) *Gauge { return o.Registry().Gauge(name) }
+
+// Histogram returns the named bounded histogram.
+func (o *Obs) Histogram(name string) *Histogram { return o.Registry().Histogram(name) }
+
+// Begin opens a span named name as a child of p's innermost open span and
+// makes it current for p. End it with the returned handle.
+func (o *Obs) Begin(p *sim.Proc, name string) Span {
+	if o == nil {
+		return Span{}
+	}
+	return o.tr.begin(p, o.tr.currentID(p), name)
+}
+
+// BeginChild opens a span under an explicit parent — the cross-process hop:
+// the host submitter captures Current, a queue carries it to the DPU thread,
+// which resumes the tree with BeginChild on its own process.
+func (o *Obs) BeginChild(p *sim.Proc, parent Span, name string) Span {
+	if o == nil {
+		return Span{}
+	}
+	return o.tr.begin(p, parent.id, name)
+}
+
+// Current returns p's innermost open span (zero Span when none or disabled).
+func (o *Obs) Current(p *sim.Proc) Span {
+	if o == nil {
+		return Span{}
+	}
+	if id := o.tr.currentID(p); id != 0 {
+		return Span{t: o.tr, id: id}
+	}
+	return Span{}
+}
+
+// Annotate attaches an instant event (e.g. one DMA) to p's innermost open
+// span, with a byte payload size for traffic accounting.
+func (o *Obs) Annotate(p *sim.Proc, name string, bytes int64) {
+	if o == nil {
+		return
+	}
+	o.tr.annotate(p, name, bytes)
+}

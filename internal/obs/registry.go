@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"encoding/json"
+	"time"
+
+	"dpc/internal/sim"
+	"dpc/internal/stats"
+)
+
+// Registry is a process-wide set of named metrics. Names follow the
+// layer.component.metric scheme (e.g. "cache.host.hits", "pcie.link.dmas").
+// Metrics are created on first use and live for the registry's lifetime; all
+// values are recorded in virtual time so snapshots are deterministic.
+//
+// A nil *Registry is valid and returns nil metrics, whose record methods are
+// no-ops — the disabled path is a nil check, nothing more.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter is a monotonically increasing count. The zero value of a nil
+// pointer is a no-op sink.
+type Counter struct{ v int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a last-value metric (utilizations, ratios, levels).
+type Gauge struct{ v float64 }
+
+// Set stores the gauge's current value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Value returns the last stored value (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram is a bounded log-bucketed duration distribution backed by the
+// stats bounded recorder: constant memory however many samples land in it.
+type Histogram struct{ lat *stats.Latency }
+
+// Observe records one duration sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if h != nil {
+		h.lat.Record(d)
+	}
+}
+
+// Latency exposes the underlying recorder (nil for a nil histogram).
+func (h *Histogram) Latency() *stats.Latency {
+	if h == nil {
+		return nil
+	}
+	return h.lat
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{lat: stats.NewLatencyBounded()}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// HistBucket is one populated histogram bucket in a snapshot.
+type HistBucket struct {
+	LENs  int64 `json:"le_ns"`
+	Count int64 `json:"count"`
+}
+
+// HistSnapshot summarizes one histogram.
+type HistSnapshot struct {
+	Count   int64        `json:"count"`
+	SumNs   int64        `json:"sum_ns"`
+	MinNs   int64        `json:"min_ns"`
+	MaxNs   int64        `json:"max_ns"`
+	P50Ns   int64        `json:"p50_ns"`
+	P99Ns   int64        `json:"p99_ns"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a stable, JSON-serializable view of a registry. Map keys
+// marshal in sorted order, so identical registries produce identical bytes.
+type Snapshot struct {
+	SimTimeNs  int64                   `json:"sim_time_ns"`
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]float64      `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every metric at virtual time now.
+func (r *Registry) Snapshot(now sim.Time) Snapshot {
+	s := Snapshot{
+		SimTimeNs:  int64(now),
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.v
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.v
+	}
+	for name, h := range r.hists {
+		hs := HistSnapshot{
+			Count: int64(h.lat.Count()),
+			SumNs: int64(h.lat.Sum()),
+			MinNs: int64(h.lat.Min()),
+			MaxNs: int64(h.lat.Max()),
+			P50Ns: int64(h.lat.Percentile(50)),
+			P99Ns: int64(h.lat.Percentile(99)),
+		}
+		for _, b := range h.lat.Buckets() {
+			hs.Buckets = append(hs.Buckets, HistBucket{LENs: int64(b.LE), Count: b.Count})
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// SnapshotJSON renders the snapshot as indented JSON with sorted keys
+// (byte-stable across identical runs).
+func (r *Registry) SnapshotJSON(now sim.Time) ([]byte, error) {
+	b, err := json.MarshalIndent(r.Snapshot(now), "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

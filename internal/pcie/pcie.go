@@ -57,7 +57,10 @@ func (o Op) String() string {
 	}
 }
 
-// Event describes one PCIe operation for trace consumers.
+// Event describes one PCIe operation for trace consumers. Proc is the sim
+// process that issued the operation, letting subscribers attribute traffic
+// to the request being served (the obs bridge attaches DMA events to the
+// process's current span).
 type Event struct {
 	At    sim.Time
 	Op    Op
@@ -65,6 +68,7 @@ type Event struct {
 	Addr  mem.Addr
 	Bytes int
 	Label string
+	Proc  *sim.Proc
 }
 
 // Config holds the link's cost model.
@@ -108,9 +112,47 @@ type Link struct {
 	MMIOs       stats.Counter
 	Atomics     stats.Counter
 
-	// Trace, when non-nil, receives every PCIe operation.
-	Trace func(Event)
+	// subs receives every PCIe operation, in subscription order. Multiple
+	// consumers coexist: cmd/dpctrace's printer and the obs metrics bridge
+	// can both watch the same link.
+	subs   []subscriber
+	nextID int
 }
+
+type subscriber struct {
+	id int
+	fn func(Event)
+}
+
+// Subscribe registers fn to receive every PCIe operation and returns a
+// token for Unsubscribe. Subscribers fire in subscription order.
+func (l *Link) Subscribe(fn func(Event)) int {
+	l.nextID++
+	l.subs = append(l.subs, subscriber{id: l.nextID, fn: fn})
+	return l.nextID
+}
+
+// Unsubscribe removes a subscriber registered with Subscribe.
+func (l *Link) Unsubscribe(id int) {
+	for i, s := range l.subs {
+		if s.id == id {
+			l.subs = append(l.subs[:i], l.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// emit fans an event out to every subscriber. Callers must skip the Event
+// construction entirely when Traced() is false, keeping the untraced hot
+// path allocation-free.
+func (l *Link) emit(ev Event) {
+	for _, s := range l.subs {
+		s.fn(ev)
+	}
+}
+
+// Traced reports whether any subscriber is listening.
+func (l *Link) Traced() bool { return len(l.subs) > 0 }
 
 // NewLink creates a link with the given cost model.
 func NewLink(eng *sim.Engine, cfg Config) *Link {
@@ -148,8 +190,8 @@ func (l *Link) dma(p *sim.Proc, dir Dir, addr mem.Addr, n int, label string) {
 	} else {
 		l.DMABytesD2H.Add(int64(n))
 	}
-	if l.Trace != nil {
-		l.Trace(Event{At: l.eng.Now(), Op: OpDMA, Dir: dir, Addr: addr, Bytes: n, Label: label})
+	if len(l.subs) > 0 {
+		l.emit(Event{At: l.eng.Now(), Op: OpDMA, Dir: dir, Addr: addr, Bytes: n, Label: label, Proc: p})
 	}
 }
 
@@ -178,8 +220,8 @@ func (l *Link) MMIOWrite32(p *sim.Proc, r *mem.Region, addr mem.Addr, v uint32, 
 	p.Sleep(l.cfg.MMIOLatency)
 	r.PutUint32(addr, v)
 	l.MMIOs.Inc()
-	if l.Trace != nil {
-		l.Trace(Event{At: l.eng.Now(), Op: OpMMIO, Dir: HostToDev, Addr: addr, Bytes: 4, Label: label})
+	if len(l.subs) > 0 {
+		l.emit(Event{At: l.eng.Now(), Op: OpMMIO, Dir: HostToDev, Addr: addr, Bytes: 4, Label: label, Proc: p})
 	}
 }
 
@@ -188,8 +230,8 @@ func (l *Link) MMIOWrite32(p *sim.Proc, r *mem.Region, addr mem.Addr, v uint32, 
 func (l *Link) AtomicCAS32(p *sim.Proc, r *mem.Region, addr mem.Addr, old, new uint32, label string) bool {
 	p.Sleep(l.cfg.AtomicLatency)
 	l.Atomics.Inc()
-	if l.Trace != nil {
-		l.Trace(Event{At: l.eng.Now(), Op: OpAtomic, Dir: HostToDev, Addr: addr, Bytes: 4, Label: label})
+	if len(l.subs) > 0 {
+		l.emit(Event{At: l.eng.Now(), Op: OpAtomic, Dir: HostToDev, Addr: addr, Bytes: 4, Label: label, Proc: p})
 	}
 	return r.CompareAndSwap32(addr, old, new)
 }
@@ -198,8 +240,8 @@ func (l *Link) AtomicCAS32(p *sim.Proc, r *mem.Region, addr mem.Addr, old, new u
 func (l *Link) AtomicStore32(p *sim.Proc, r *mem.Region, addr mem.Addr, v uint32, label string) {
 	p.Sleep(l.cfg.AtomicLatency)
 	l.Atomics.Inc()
-	if l.Trace != nil {
-		l.Trace(Event{At: l.eng.Now(), Op: OpAtomic, Dir: HostToDev, Addr: addr, Bytes: 4, Label: label})
+	if len(l.subs) > 0 {
+		l.emit(Event{At: l.eng.Now(), Op: OpAtomic, Dir: HostToDev, Addr: addr, Bytes: 4, Label: label, Proc: p})
 	}
 	r.PutUint32(addr, v)
 }
@@ -208,8 +250,8 @@ func (l *Link) AtomicStore32(p *sim.Proc, r *mem.Region, addr mem.Addr, v uint32
 func (l *Link) AtomicFetchAdd32(p *sim.Proc, r *mem.Region, addr mem.Addr, delta uint32, label string) uint32 {
 	p.Sleep(l.cfg.AtomicLatency)
 	l.Atomics.Inc()
-	if l.Trace != nil {
-		l.Trace(Event{At: l.eng.Now(), Op: OpAtomic, Dir: HostToDev, Addr: addr, Bytes: 4, Label: label})
+	if len(l.subs) > 0 {
+		l.emit(Event{At: l.eng.Now(), Op: OpAtomic, Dir: HostToDev, Addr: addr, Bytes: 4, Label: label, Proc: p})
 	}
 	return r.FetchAdd32(addr, delta)
 }

@@ -138,7 +138,7 @@ func TestTraceAndMark(t *testing.T) {
 	l := testLink(e)
 	host := mem.NewRegion("host", 0, 4096)
 	var events []Event
-	l.Trace = func(ev Event) { events = append(events, ev) }
+	l.Subscribe(func(ev Event) { events = append(events, ev) })
 	e.Go("dev", func(p *sim.Proc) {
 		l.DMARead(p, host, 0, 64, "sqe")
 		l.DMAWrite(p, host, 64, make([]byte, 16), "cqe")
@@ -162,6 +162,42 @@ func TestTraceAndMark(t *testing.T) {
 	e.Run()
 	if l.DMAs.Delta() != 1 {
 		t.Fatalf("window delta = %d", l.DMAs.Delta())
+	}
+}
+
+func TestMultipleSubscribersCoexist(t *testing.T) {
+	// A trace printer and a metrics collector must be able to watch the
+	// same link at once, and dropping one must not disturb the other.
+	e := sim.NewEngine(1)
+	l := testLink(e)
+	host := mem.NewRegion("host", 0, 4096)
+	if l.Traced() {
+		t.Fatal("fresh link reports Traced")
+	}
+	var a, b int
+	idA := l.Subscribe(func(Event) { a++ })
+	l.Subscribe(func(Event) { b++ })
+	if !l.Traced() {
+		t.Fatal("subscribed link not Traced")
+	}
+	e.Go("dev", func(p *sim.Proc) {
+		l.DMARead(p, host, 0, 16, "x")
+		l.DMARead(p, host, 0, 16, "y")
+	})
+	e.Run()
+	if a != 2 || b != 2 {
+		t.Fatalf("fan-out counts a=%d b=%d, want 2/2", a, b)
+	}
+	l.Unsubscribe(idA)
+	e.Go("dev", func(p *sim.Proc) { l.DMARead(p, host, 0, 16, "z") })
+	e.Run()
+	if a != 2 || b != 3 {
+		t.Fatalf("after Unsubscribe a=%d b=%d, want 2/3", a, b)
+	}
+	// Unsubscribing an unknown id is a no-op.
+	l.Unsubscribe(999)
+	if !l.Traced() {
+		t.Fatal("remaining subscriber lost")
 	}
 }
 

@@ -14,6 +14,12 @@ type Proc struct {
 	resume chan struct{}
 	killed bool
 	dead   bool
+
+	// Ctx is an opaque per-process slot for cross-layer instrumentation:
+	// internal/obs hangs the process's span stack here. sim itself never
+	// reads or writes it. Safe without locking because only one process
+	// runs at a time.
+	Ctx any
 }
 
 // procKilled is the panic value used to unwind a process killed by Shutdown.

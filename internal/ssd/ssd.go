@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"dpc/internal/obs"
 	"dpc/internal/sim"
 	"dpc/internal/stats"
 )
@@ -55,6 +56,26 @@ type Device struct {
 	Writes     stats.Counter
 	BytesRead  stats.Counter
 	BytesWrite stats.Counter
+
+	// obs mirrors, cached at AttachObs; nil no-op sinks when disabled.
+	o           *obs.Obs
+	oReads      *obs.Counter
+	oWrites     *obs.Counter
+	oBytesRead  *obs.Counter
+	oBytesWrite *obs.Counter
+}
+
+// AttachObs registers the device's counters ("ssd.dev.*") and enables
+// per-I/O spans. Safe with a nil hub.
+func (d *Device) AttachObs(o *obs.Obs) {
+	if !o.Enabled() {
+		return
+	}
+	d.o = o
+	d.oReads = o.Counter("ssd.dev.reads")
+	d.oWrites = o.Counter("ssd.dev.writes")
+	d.oBytesRead = o.Counter("ssd.dev.bytes_read")
+	d.oBytesWrite = o.Counter("ssd.dev.bytes_written")
 }
 
 // New creates a device.
@@ -84,6 +105,7 @@ func (d *Device) checkRange(off int64, n int) {
 // Read performs a timed read of n bytes at byte offset off.
 func (d *Device) Read(p *sim.Proc, off int64, n int) []byte {
 	d.checkRange(off, n)
+	s := d.o.Begin(p, "ssd.read")
 	d.channels.Acquire(p, 1)
 	p.Sleep(d.cfg.ReadLatency)
 	d.readBus.Acquire(p, 1)
@@ -92,12 +114,16 @@ func (d *Device) Read(p *sim.Proc, off int64, n int) []byte {
 	d.channels.Release(1)
 	d.Reads.Inc()
 	d.BytesRead.Add(int64(n))
+	d.oReads.Inc()
+	d.oBytesRead.Add(int64(n))
+	s.End(p)
 	return d.ReadRaw(off, n)
 }
 
 // Write performs a timed write of data at byte offset off.
 func (d *Device) Write(p *sim.Proc, off int64, data []byte) {
 	d.checkRange(off, len(data))
+	s := d.o.Begin(p, "ssd.write")
 	d.channels.Acquire(p, 1)
 	p.Sleep(d.cfg.WriteLatency)
 	d.writeBus.Acquire(p, 1)
@@ -106,6 +132,9 @@ func (d *Device) Write(p *sim.Proc, off int64, data []byte) {
 	d.channels.Release(1)
 	d.Writes.Inc()
 	d.BytesWrite.Add(int64(len(data)))
+	d.oWrites.Inc()
+	d.oBytesWrite.Add(int64(len(data)))
+	s.End(p)
 	d.WriteRaw(off, data)
 }
 

@@ -97,6 +97,90 @@ func TestPercentileMonotoneProperty(t *testing.T) {
 	}
 }
 
+func TestBoundedBucketBoundaries(t *testing.T) {
+	// The first 2^histSubBits buckets are exact single values; past them,
+	// each octave splits into 2^histSubBits linear sub-buckets.
+	cases := []struct {
+		v    int64
+		idx  int
+		le   int64 // inclusive upper bound of that bucket
+	}{
+		{0, 0, 0}, {1, 1, 1}, {7, 7, 7}, // exact range
+		{8, 8, 8}, {15, 15, 15},         // msb=3: still exact (width 1)
+		{16, 16, 17}, {17, 16, 17},      // msb=4: width-2 buckets
+		{18, 17, 19}, {31, 23, 31},
+		{32, 24, 35}, {35, 24, 35}, {36, 25, 39}, // msb=5: width 4
+		{1 << 42, (histMaxMSB-histSubBits+1) * histSubBuckets, 0}, // last octave
+		{1 << 50, histNumBuckets - 1, 0},                          // clamps
+		{1 << 62, histNumBuckets - 1, 0},
+	}
+	for _, c := range cases {
+		if got := histIndex(c.v); got != c.idx {
+			t.Errorf("histIndex(%d) = %d, want %d", c.v, got, c.idx)
+		}
+		if c.le != 0 {
+			if got := histUpperBound(c.idx); got != c.le {
+				t.Errorf("histUpperBound(%d) = %d, want %d", c.idx, got, c.le)
+			}
+		}
+	}
+	// Every value must land in a bucket whose bounds contain it, and bucket
+	// upper bounds must be strictly increasing.
+	prev := int64(-1)
+	for i := 0; i < histNumBuckets; i++ {
+		ub := histUpperBound(i)
+		if ub <= prev {
+			t.Fatalf("bucket %d upper bound %d <= previous %d", i, ub, prev)
+		}
+		if got := histIndex(ub); got != i {
+			t.Fatalf("histIndex(histUpperBound(%d)=%d) = %d", i, ub, got)
+		}
+		prev = ub
+	}
+}
+
+func TestBoundedPercentileApproximation(t *testing.T) {
+	exact := NewLatency()
+	bounded := NewLatencyBounded()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		d := time.Duration(rng.Intn(50_000_000)) // up to 50 ms
+		exact.Record(d)
+		bounded.Record(d)
+	}
+	if !bounded.Bounded() || exact.Bounded() {
+		t.Fatal("Bounded() mislabels recorders")
+	}
+	if bounded.Count() != exact.Count() || bounded.Mean() != exact.Mean() ||
+		bounded.Min() != exact.Min() || bounded.Max() != exact.Max() {
+		t.Fatalf("count/mean/min/max must be exact in bounded mode")
+	}
+	for _, p := range []float64{1, 25, 50, 90, 99, 99.9, 100} {
+		e, b := exact.Percentile(p), bounded.Percentile(p)
+		if b < e {
+			t.Errorf("P%v: bounded %v < exact %v (upper bound must not undershoot)", p, b, e)
+		}
+		// One bucket width: <= 1/2^histSubBits relative error.
+		if float64(b) > float64(e)*(1+1.0/histSubBuckets)+1 {
+			t.Errorf("P%v: bounded %v overshoots exact %v by more than a bucket", p, b, e)
+		}
+	}
+}
+
+func TestBoundedReset(t *testing.T) {
+	l := NewLatencyBounded()
+	l.Record(100 * time.Microsecond)
+	l.Reset()
+	if l.Count() != 0 || l.Max() != 0 || l.Percentile(50) != 0 || l.Buckets() != nil {
+		t.Fatal("reset did not clear bounded recorder")
+	}
+	l.Record(7)
+	bs := l.Buckets()
+	if len(bs) != 1 || bs[0].LE != 7 || bs[0].Count != 1 {
+		t.Fatalf("Buckets after reset+record = %+v", bs)
+	}
+}
+
 func TestCounterWindow(t *testing.T) {
 	var c Counter
 	c.Add(100)

@@ -21,8 +21,9 @@ race:
 torture:
 	$(GO) run ./cmd/dpccheck -seeds 8 -ops 2000
 
-# Machine-readable metrics + trace from the instrumented reference workload.
+# Machine-readable metrics + trace from the instrumented reference workload,
+# plus the serial-vs-pipelined large-I/O comparison (the perf trajectory).
 bench-json:
-	$(GO) run ./cmd/dpcbench -metrics-out BENCH_metrics.json -trace-out BENCH_trace.json
+	$(GO) run ./cmd/dpcbench -metrics-out BENCH_metrics.json -trace-out BENCH_trace.json -largeio-out BENCH_3.json
 
 check: vet test race torture

@@ -55,6 +55,11 @@ type Client struct {
 	cacheHost   *cache.Host
 	ctl         *cache.Ctl
 
+	// window bounds how many commands a multi-page or multi-chunk operation
+	// keeps in flight at once. Seeded from the driver's InflightWindow;
+	// override per client with SetWindow.
+	window int
+
 	// Observability handles, cached at construction so the hot paths never
 	// look anything up. All nil when the system has no Obs attached.
 	o      *obs.Obs
@@ -66,7 +71,8 @@ type Client struct {
 
 // newClient builds a client and caches its observability handles.
 func newClient(sys *System, bit uint8, host *cache.Host, ctl *cache.Ctl) *Client {
-	c := &Client{sys: sys, dispatchBit: bit, cacheHost: host, ctl: ctl}
+	c := &Client{sys: sys, dispatchBit: bit, cacheHost: host, ctl: ctl,
+		window: sys.Driver.Window()}
 	if o := sys.M.Obs; o.Enabled() {
 		c.o = o
 		c.hWrite = o.Histogram("client.write.latency")
@@ -130,6 +136,24 @@ type File struct {
 func (c *Client) submit(p *sim.Proc, qid int, sub nvmefs.Submission) nvmefs.Completion {
 	sub.Dispatch = c.dispatchBit
 	return c.sys.Driver.Submit(p, qid, sub)
+}
+
+// submitBatch enqueues a burst of commands for this service on one queue and
+// rings its doorbell once.
+func (c *Client) submitBatch(p *sim.Proc, qid int, subs []nvmefs.Submission) []*nvmefs.Pending {
+	for i := range subs {
+		subs[i].Dispatch = c.dispatchBit
+	}
+	return c.sys.Driver.SubmitBatch(p, qid, subs)
+}
+
+// SetWindow overrides the client's in-flight window (1 = fully serial
+// submission, the pre-pipeline behavior). Values < 1 are clamped to 1.
+func (c *Client) SetWindow(w int) {
+	if w < 1 {
+		w = 1
+	}
+	c.window = w
 }
 
 // metaOp runs a path-based namespace operation and decodes the attribute.
@@ -353,6 +377,35 @@ func (f *File) write(p *sim.Proc, qid int, off uint64, data []byte, direct bool)
 		}
 		eof = end
 	}
+	// Only the head and tail pages of the range can be partial; batch their
+	// read-modify-write bases in one pipelined fetch instead of two blocking
+	// round trips inside the loop. A missing page (hole or beyond the old
+	// EOF) modifies zeros, which is what the untouched buffer holds.
+	rmwLPNs := make([]uint64, 0, 2)
+	first := off / ps
+	last := (end - 1) / ps
+	headCov := ps - off%ps
+	if headCov > uint64(len(data)) {
+		headCov = uint64(len(data))
+	}
+	if off%ps != 0 || headCov < ps {
+		rmwLPNs = append(rmwLPNs, first)
+	}
+	if last != first && end%ps != 0 {
+		rmwLPNs = append(rmwLPNs, last)
+	}
+	rmwBase := make(map[uint64][]byte, len(rmwLPNs))
+	if len(rmwLPNs) > 0 {
+		reqs := make([]pageFetch, len(rmwLPNs))
+		for i, lpn := range rmwLPNs {
+			buf := make([]byte, ps)
+			rmwBase[lpn] = buf
+			reqs[i] = pageFetch{lpn: lpn, dst: buf}
+		}
+		if err := c.fetchPages(p, qid, f.Ino, reqs); err != nil {
+			return err
+		}
+	}
 	for done := uint64(0); done < uint64(len(data)); {
 		lpn := (off + done) / ps
 		po := (off + done) % ps
@@ -364,13 +417,7 @@ func (f *File) write(p *sim.Proc, qid int, off uint64, data []byte, direct bool)
 		if po == 0 && n == ps {
 			page = data[done : done+n]
 		} else {
-			// Partial page: read-modify-write through the cache. A missing
-			// page (hole or beyond the old EOF) modifies zeros.
-			base, err := c.readPageForRMW(p, qid, f.Ino, lpn)
-			if err != nil {
-				return err
-			}
-			page = base
+			page = rmwBase[lpn]
 			copy(page[po:], data[done:done+n])
 		}
 		if err := c.writePageCached(p, qid, f.Ino, lpn, page, eof); err != nil {
@@ -395,18 +442,6 @@ func (c *Client) setSize(p *sim.Proc, qid int, ino, size uint64) error {
 	return statusErr(comp.Status)
 }
 
-// readPageForRMW fetches one full page for a partial buffered write,
-// returning zeros for pages at or beyond EOF.
-func (c *Client) readPageForRMW(p *sim.Proc, qid int, ino, lpn uint64) ([]byte, error) {
-	page := make([]byte, c.cacheHost.L.PageSize)
-	data, err := c.readPageCached(p, qid, ino, lpn)
-	if err != nil && !errors.Is(err, ErrNotFound) {
-		return nil, err
-	}
-	copy(page, data)
-	return page, nil
-}
-
 func (f *File) writeDirect(p *sim.Proc, qid int, off uint64, data []byte) error {
 	c := f.c
 	// O_DIRECT semantics, write side: buffered dirty pages must reach the
@@ -417,22 +452,51 @@ func (f *File) writeDirect(p *sim.Proc, qid int, off uint64, data []byte) error 
 			return err
 		}
 	}
+	// Pipeline the MaxIO chunks: keep up to window commands in flight on the
+	// caller's queue, each burst ringing the doorbell once, and retire them
+	// in submission order. On error, stop submitting but drain what is
+	// already in flight before reporting the first failure.
 	maxIO := c.sys.Driver.MaxIO()
-	for done := 0; done < len(data); done += maxIO {
-		end := done + maxIO
-		if end > len(data) {
-			end = len(data)
+	w := c.window
+	if w < 1 {
+		w = 1
+	}
+	var (
+		pends    []*nvmefs.Pending
+		burst    []nvmefs.Submission
+		next     int
+		firstErr error
+	)
+	for next < len(data) || len(pends) > 0 {
+		if firstErr == nil && next < len(data) && len(pends) < w {
+			burst = burst[:0]
+			for next < len(data) && len(pends)+len(burst) < w {
+				end := next + maxIO
+				if end > len(data) {
+					end = len(data)
+				}
+				chunk := data[next:end]
+				hdr := dispatch.ReqHeader{Ino: f.Ino, Off: off + uint64(next), Len: uint32(len(chunk))}
+				burst = append(burst, nvmefs.Submission{
+					FileOp:  nvme.FileOpWrite,
+					Header:  hdr.Marshal(),
+					Payload: chunk,
+				})
+				next = end
+			}
+			pends = append(pends, c.submitBatch(p, qid, burst)...)
 		}
-		chunk := data[done:end]
-		hdr := dispatch.ReqHeader{Ino: f.Ino, Off: off + uint64(done), Len: uint32(len(chunk))}
-		comp := c.submit(p, qid, nvmefs.Submission{
-			FileOp:  nvme.FileOpWrite,
-			Header:  hdr.Marshal(),
-			Payload: chunk,
-		})
-		if err := statusErr(comp.Status); err != nil {
-			return err
+		if len(pends) == 0 {
+			break
 		}
+		comp := pends[0].Wait(p)
+		pends = pends[1:]
+		if err := statusErr(comp.Status); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return firstErr
 	}
 	// Cache coherence: a cached copy of any page in the range (possibly
 	// dirty with earlier buffered data) must not keep — and later flush —
@@ -523,6 +587,7 @@ func (f *File) read(p *sim.Proc, qid int, off uint64, n int, direct bool) ([]byt
 		n = int(max)
 	}
 	out := make([]byte, n)
+	reqs := make([]pageFetch, 0, (uint64(n)+ps-1)/ps+1)
 	for done := 0; done < n; {
 		lpn := (off + uint64(done)) / ps
 		po := (off + uint64(done)) % ps
@@ -530,14 +595,11 @@ func (f *File) read(p *sim.Proc, qid int, off uint64, n int, direct bool) ([]byt
 		if k > n-done {
 			k = n - done
 		}
-		page, err := c.readPageCached(p, qid, f.Ino, lpn)
-		if err != nil && !errors.Is(err, ErrNotFound) {
-			return nil, err
-		}
-		if int(po) < len(page) {
-			copy(out[done:done+k], page[po:])
-		}
+		reqs = append(reqs, pageFetch{lpn: lpn, po: int(po), dst: out[done : done+k]})
 		done += k
+	}
+	if err := c.fetchPages(p, qid, f.Ino, reqs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -551,67 +613,202 @@ func (f *File) readDirect(p *sim.Proc, qid int, off uint64, n int) ([]byte, erro
 			return nil, err
 		}
 	}
+	if n <= 0 {
+		return nil, nil
+	}
+	// Pipeline the MaxIO chunks on the caller's queue under the in-flight
+	// window, one doorbell per burst. Chunks retire in submission order into
+	// a pre-sized buffer; the first short chunk marks EOF, after which the
+	// remaining in-flight chunks (all past it) are drained and discarded.
 	maxIO := c.sys.Driver.MaxIO()
-	var out []byte
-	for done := 0; done < n; done += maxIO {
-		want := n - done
-		if want > maxIO {
-			want = maxIO
+	w := c.window
+	if w < 1 {
+		w = 1
+	}
+	out := make([]byte, n)
+	type chunk struct{ off, want int }
+	var (
+		pends  []*nvmefs.Pending
+		chunks []chunk
+		burst  []nvmefs.Submission
+		next   int
+		got    int
+		short  bool
+	)
+	for next < n || len(pends) > 0 {
+		if !short && next < n && len(pends) < w {
+			burst = burst[:0]
+			for next < n && len(pends)+len(burst) < w {
+				want := n - next
+				if want > maxIO {
+					want = maxIO
+				}
+				hdr := dispatch.ReqHeader{Ino: f.Ino, Off: off + uint64(next), Len: uint32(want)}
+				burst = append(burst, nvmefs.Submission{
+					FileOp:  nvme.FileOpRead,
+					Header:  hdr.Marshal(),
+					RHLen:   1,
+					ReadLen: want,
+				})
+				chunks = append(chunks, chunk{next, want})
+				next = next + want
+			}
+			pends = append(pends, c.submitBatch(p, qid, burst)...)
 		}
-		hdr := dispatch.ReqHeader{Ino: f.Ino, Off: off + uint64(done), Len: uint32(want)}
-		comp := f.c.submit(p, qid, nvmefs.Submission{
-			FileOp:  nvme.FileOpRead,
-			Header:  hdr.Marshal(),
-			RHLen:   1,
-			ReadLen: want,
-		})
+		if len(pends) == 0 {
+			break
+		}
+		comp := pends[0].Wait(p)
+		ck := chunks[0]
+		pends, chunks = pends[1:], chunks[1:]
 		if err := statusErr(comp.Status); err != nil {
 			return nil, err
 		}
-		out = append(out, comp.Data...)
-		if len(comp.Data) < want {
-			break // EOF
+		if short {
+			continue
+		}
+		copy(out[ck.off:], comp.Data)
+		got = ck.off + len(comp.Data)
+		if len(comp.Data) < ck.want {
+			short = true // EOF
 		}
 	}
-	return out, nil
+	if got == 0 {
+		return nil, nil
+	}
+	return out[:got], nil
 }
 
-// readPageCached serves one page through the hybrid cache.
-func (c *Client) readPageCached(p *sim.Proc, qid int, ino, lpn uint64) ([]byte, error) {
+// pageFetch is one page's worth of a multi-page cached operation: the page's
+// bytes from offset po onward are copied into dst (len(dst) ≤ PageSize-po).
+// Pages absent from both cache and backend (holes, beyond EOF) leave dst
+// untouched, so callers see zeros in a fresh buffer.
+type pageFetch struct {
+	lpn uint64
+	po  int
+	dst []byte
+}
+
+func (r *pageFetch) fill(page []byte) {
+	if r.po < len(page) {
+		copy(r.dst, page[r.po:])
+	}
+}
+
+// pageMiss tracks one cache miss through the fill protocol: up to three
+// FlagFillCache attempts (each re-probing host memory afterwards), then an
+// uncached fallback read if the filled entry keeps getting evicted first.
+type pageMiss struct {
+	req      *pageFetch
+	attempt  int
+	fallback bool
+	pend     *nvmefs.Pending
+}
+
+func (c *Client) missSubmission(ino uint64, ms *pageMiss, ps uint64) nvmefs.Submission {
+	if ms.fallback {
+		hdr := dispatch.ReqHeader{Ino: ino, Off: ms.req.lpn * ps, Len: uint32(ps)}
+		return nvmefs.Submission{FileOp: nvme.FileOpRead, Header: hdr.Marshal(), RHLen: 1, ReadLen: int(ps)}
+	}
+	hdr := dispatch.ReqHeader{Ino: ino, Off: ms.req.lpn * ps, Len: uint32(ps), Flags: dispatch.FlagFillCache}
+	return nvmefs.Submission{FileOp: nvme.FileOpRead, Header: hdr.Marshal(), RHLen: 8, ReadLen: int(ps)}
+}
+
+// fetchPages serves a batch of pages through the hybrid cache. Hits are
+// copied straight out of host memory; misses are filled by the DPU with
+// their submissions pipelined under the client's in-flight window and
+// striped across queues starting at qid, each wave's per-queue share riding
+// a single doorbell. Waits retire in submission order; completions that
+// finish early recycle their slot and CID at IRQ time, so the window keeps
+// moving regardless of wait order.
+func (c *Client) fetchPages(p *sim.Proc, qid int, ino uint64, reqs []pageFetch) error {
 	ps := uint64(c.cacheHost.L.PageSize)
-	for attempt := 0; attempt < 3; attempt++ {
-		if data, ok := c.cacheHost.Lookup(p, ino, lpn); ok {
-			return data, nil
+	queue := make([]*pageMiss, 0, len(reqs))
+	for i := range reqs {
+		r := &reqs[i]
+		if data, ok := c.cacheHost.Lookup(p, ino, r.lpn); ok {
+			r.fill(data)
+			continue
 		}
-		// Miss: ask the DPU to fill the cache. On success only the entry
-		// index crosses back (Result = idx+1) and we re-read host memory.
-		hdr := dispatch.ReqHeader{Ino: ino, Off: lpn * ps, Len: uint32(ps), Flags: dispatch.FlagFillCache}
-		comp := c.submit(p, qid, nvmefs.Submission{
-			FileOp:  nvme.FileOpRead,
-			Header:  hdr.Marshal(),
-			RHLen:   8,
-			ReadLen: int(ps),
-		})
+		queue = append(queue, &pageMiss{req: r})
+	}
+	if len(queue) == 0 {
+		return nil
+	}
+	w := c.window
+	if w < 1 {
+		w = 1
+	}
+	stripes := c.sys.Driver.Queues()
+	if stripes > w {
+		stripes = w
+	}
+	inflight := make([]*pageMiss, 0, w)
+	groups := make([][]*pageMiss, stripes)
+	seq := 0
+	for len(queue) > 0 || len(inflight) > 0 {
+		if len(queue) > 0 && len(inflight) < w {
+			take := w - len(inflight)
+			if take > len(queue) {
+				take = len(queue)
+			}
+			wave := queue[:take]
+			queue = queue[take:]
+			// Group the wave by stripe (a fixed slice, not a map, so the
+			// submit order is deterministic) and batch each group.
+			for s := range groups {
+				groups[s] = groups[s][:0]
+			}
+			for _, ms := range wave {
+				s := seq % stripes
+				seq++
+				groups[s] = append(groups[s], ms)
+			}
+			for s, g := range groups {
+				if len(g) == 0 {
+					continue
+				}
+				subs := make([]nvmefs.Submission, len(g))
+				for i, ms := range g {
+					subs[i] = c.missSubmission(ino, ms, ps)
+				}
+				pends := c.submitBatch(p, (qid+s)%c.sys.Driver.Queues(), subs)
+				for i, ms := range g {
+					ms.pend = pends[i]
+				}
+				inflight = append(inflight, g...)
+			}
+		}
+		ms := inflight[0]
+		inflight = inflight[1:]
+		comp := ms.pend.Wait(p)
 		if err := statusErr(comp.Status); err != nil {
-			return nil, err
+			if errors.Is(err, ErrNotFound) {
+				continue // hole or beyond EOF: dst keeps its zeros
+			}
+			return err
+		}
+		if ms.fallback {
+			ms.req.fill(comp.Data)
+			continue
 		}
 		if filled, _ := dispatch.ParseFillHeader(comp.Header); !filled {
 			// The DPU could not fill the bucket; data came back inline.
-			return comp.Data, nil
+			ms.req.fill(comp.Data)
+			continue
 		}
-		// Filled: loop back to Lookup (covers the rare race where the
-		// entry is evicted before we get to it).
+		// Filled: re-read host memory (covers the rare race where the entry
+		// is evicted before we get to it — retry the fill, then fall back to
+		// an uncached read).
+		if data, ok := c.cacheHost.Lookup(p, ino, ms.req.lpn); ok {
+			ms.req.fill(data)
+			continue
+		}
+		ms.attempt++
+		if ms.attempt >= 3 {
+			ms.fallback = true
+		}
+		queue = append(queue, ms)
 	}
-	// Persistent race: fall back to an uncached read.
-	hdr := dispatch.ReqHeader{Ino: ino, Off: lpn * ps, Len: uint32(ps)}
-	comp := c.submit(p, qid, nvmefs.Submission{
-		FileOp:  nvme.FileOpRead,
-		Header:  hdr.Marshal(),
-		RHLen:   1,
-		ReadLen: int(ps),
-	})
-	if err := statusErr(comp.Status); err != nil {
-		return nil, err
-	}
-	return comp.Data, nil
+	return nil
 }

@@ -11,6 +11,10 @@
 //	                         # run the instrumented reference workload and
 //	                         # write a machine-readable metrics snapshot
 //	                         # (and optionally a Perfetto trace)
+//	dpcbench -largeio-out l.json
+//	                         # run the sequential large-I/O workload, serial
+//	                         # vs pipelined submission, and write the
+//	                         # doorbell/throughput comparison as JSON
 package main
 
 import (
@@ -33,13 +37,22 @@ func main() {
 
 		metricsOut = flag.String("metrics-out", "", "run the instrumented reference workload, write its metrics snapshot (JSON) to this file and exit")
 		traceOut   = flag.String("trace-out", "", "with -metrics-out: also write the span tree as Perfetto/Chrome trace JSON to this file")
+		largeioOut = flag.String("largeio-out", "", "run the sequential large-I/O workload (serial vs pipelined submission), write its JSON report to this file and exit")
 	)
 	flag.Parse()
 
-	if *metricsOut != "" {
-		if err := runMetricsScenario(*metricsOut, *traceOut); err != nil {
-			fmt.Fprintln(os.Stderr, "metrics scenario:", err)
-			os.Exit(1)
+	if *metricsOut != "" || *largeioOut != "" {
+		if *metricsOut != "" {
+			if err := runMetricsScenario(*metricsOut, *traceOut); err != nil {
+				fmt.Fprintln(os.Stderr, "metrics scenario:", err)
+				os.Exit(1)
+			}
+		}
+		if *largeioOut != "" {
+			if err := runLargeIOScenario(*largeioOut); err != nil {
+				fmt.Fprintln(os.Stderr, "largeio scenario:", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}

@@ -43,8 +43,10 @@ const (
 
 // CtlConfig tunes the control plane.
 type CtlConfig struct {
-	FlushBatch      int // max dirty pages flushed per daemon pass
-	Policy          Policy
+	FlushBatch   int // max dirty pages flushed per daemon pass
+	FlushWorkers int // write-back window: dirty pages flushed concurrently
+	Policy       Policy
+
 	PrefetchEnabled bool
 	PrefetchDepth   int // pages fetched ahead once a stream is detected
 	// AdaptivePrefetch doubles a stream's window on each subsequent miss
@@ -56,7 +58,7 @@ type CtlConfig struct {
 
 // DefaultCtlConfig returns the experiments' defaults.
 func DefaultCtlConfig() CtlConfig {
-	return CtlConfig{FlushBatch: 256, PrefetchEnabled: true, PrefetchDepth: 16, AdaptivePrefetch: true, FlushEnabled: true}
+	return CtlConfig{FlushBatch: 256, FlushWorkers: 32, PrefetchEnabled: true, PrefetchDepth: 16, AdaptivePrefetch: true, FlushEnabled: true}
 }
 
 type stream struct {
@@ -111,6 +113,9 @@ func (c *Ctl) SetBackend(b Backend) { c.backend = b }
 
 // NewCtl creates the control plane and starts the flush daemon.
 func NewCtl(m *model.Machine, l Layout, backend Backend, cfg CtlConfig) *Ctl {
+	if cfg.FlushWorkers <= 0 {
+		cfg.FlushWorkers = DefaultCtlConfig().FlushWorkers
+	}
 	c := &Ctl{
 		m:        m,
 		L:        l,
@@ -212,12 +217,22 @@ func (c *Ctl) flushPass(p *sim.Proc, maxPages int) int {
 			}
 		}
 	}
-	if len(dirty) == 0 {
+	return c.flushWindow(p, dirty, func(pp *sim.Proc, i int) bool {
+		return c.flushOne(pp, i)
+	})
+}
+
+// flushWindow writes the given entries back with a bounded pool of worker
+// processes (FlushWorkers wide; a serial flusher could never keep up with
+// write-back load) and returns how many flushed. flush is the per-entry
+// attempt; it reports whether this call flushed the entry.
+func (c *Ctl) flushWindow(p *sim.Proc, entries []int, flush func(pp *sim.Proc, i int) bool) int {
+	if len(entries) == 0 {
 		return 0
 	}
-	workers := 32
-	if workers > len(dirty) {
-		workers = len(dirty)
+	workers := c.cfg.FlushWorkers
+	if workers > len(entries) {
+		workers = len(entries)
 	}
 	flushed := 0
 	next := 0
@@ -225,13 +240,10 @@ func (c *Ctl) flushPass(p *sim.Proc, maxPages int) int {
 	done := sim.NewCond(c.m.Eng, "flush-join")
 	for w := 0; w < workers; w++ {
 		c.m.Eng.Go("cache-flush-w", func(pp *sim.Proc) {
-			for {
-				if next >= len(dirty) {
-					break
-				}
-				i := dirty[next]
+			for next < len(entries) {
+				i := entries[next]
 				next++
-				if c.flushOne(pp, i) {
+				if flush(pp, i) {
 					flushed++
 				}
 			}
@@ -257,7 +269,7 @@ func (c *Ctl) flushPass(p *sim.Proc, maxPages int) int {
 // concurrent flusher marks it clean only after its backend write lands).
 // Returns the number flushed.
 func (c *Ctl) FlushIno(p *sim.Proc, ino uint64) int {
-	flushed := 0
+	var dirty []int
 	const chunkEntries = 128
 	for base := 0; base < c.L.Total; base += chunkEntries {
 		n := chunkEntries
@@ -267,29 +279,32 @@ func (c *Ctl) FlushIno(p *sim.Proc, ino uint64) int {
 		raw := c.m.PCIe.DMARead(p, c.m.HostMem, c.L.EntryAddr(base), n*EntrySize, "cache-scan")
 		for k := 0; k < n; k++ {
 			e := DecodeEntry(raw[k*EntrySize : (k+1)*EntrySize])
-			if e.Status != StatusDirty || e.Ino != ino {
-				continue
-			}
-			i := base + k
-			for spins := 0; ; spins++ {
-				if spins > 1<<20 {
-					panic("cache: FlushIno livelocked on a held entry lock")
-				}
-				if c.flushOne(p, i) {
-					flushed++
-					break
-				}
-				// Lock held or state changed: either a concurrent flush is
-				// writing this page back, or the host replaced the entry.
-				// Re-read and wait until it is no longer our dirty page.
-				cur := c.readEntryRemote(p, i)
-				if cur.Status != StatusDirty || cur.Ino != ino {
-					break
-				}
+			if e.Status == StatusDirty && e.Ino == ino {
+				dirty = append(dirty, base+k)
 			}
 		}
 	}
-	return flushed
+	// Write the inode's pages back as a concurrent window rather than one
+	// blocking flushOne at a time. Each worker keeps the must-settle spin:
+	// an entry it cannot lock is re-checked until it is either flushed here
+	// or observed clean/replaced.
+	return c.flushWindow(p, dirty, func(pp *sim.Proc, i int) bool {
+		for spins := 0; ; spins++ {
+			if spins > 1<<20 {
+				panic("cache: FlushIno livelocked on a held entry lock")
+			}
+			if c.flushOne(pp, i) {
+				return true
+			}
+			// Lock held or state changed: either a concurrent flush is
+			// writing this page back, or the host replaced the entry.
+			// Re-read and wait until it is no longer our dirty page.
+			cur := c.readEntryRemote(pp, i)
+			if cur.Status != StatusDirty || cur.Ino != ino {
+				return false
+			}
+		}
+	})
 }
 
 // flushOne safely flushes entry i: read-lock, pull the page to DPU DRAM,

@@ -51,12 +51,18 @@ type Config struct {
 	SlotsPerQ int // concurrent request buffers per queue
 	MaxIO     int // largest payload per request
 	RHCap     int // response header capacity per request
+	// InflightWindow bounds how many commands a single application thread
+	// keeps in flight when it pipelines a multi-page or multi-chunk
+	// operation (client read/write loops, flush write-back). 0 means the
+	// default. The window also sets how many SQEs share one doorbell when
+	// the client submits a burst with SubmitBatch.
+	InflightWindow int
 }
 
 // DefaultConfig suits small-I/O experiments: 32 queues so application
 // threads spread widely, with enough buffer slots for deep concurrency.
 func DefaultConfig() Config {
-	return Config{Queues: 32, Depth: 64, SlotsPerQ: 16, MaxIO: 64 * 1024, RHCap: 256}
+	return Config{Queues: 32, Depth: 64, SlotsPerQ: 16, MaxIO: 64 * 1024, RHCap: 256, InflightWindow: 16}
 }
 
 // Submission is the host-side request.
@@ -81,10 +87,17 @@ type Completion struct {
 // OK reports whether the command succeeded.
 func (c Completion) OK() bool { return c.Status == nvme.StatusOK }
 
+// pendingCmd tracks one in-flight command from SQE enqueue to host reap.
+// The completion path (IRQ callback) decodes the response out of the slot
+// buffer and frees the slot/CID itself, so a blocked submitter with a full
+// in-flight window can make progress without anyone calling Wait first.
 type pendingCmd struct {
-	cond *sim.Cond
-	done bool
-	cqe  nvme.CQE
+	cond    *sim.Cond
+	done    bool
+	comp    Completion
+	slot    int
+	rhLen   int // response header bytes the submitter asked for
+	readLen int // response payload bytes after the header
 }
 
 type queueState struct {
@@ -101,12 +114,14 @@ type queueState struct {
 	sqCond    *sim.Cond
 
 	pending map[uint16]*pendingCmd // by CID
-	slotOf  map[uint16]int
-	subOf   map[uint16]*Submission
 	// spanOf carries the submitter's span across the host→TGT hop so the
 	// DPU-side spans nest under the client operation that issued the CID.
 	spanOf  map[uint16]obs.Span
 	freeCID []uint16
+
+	// unrung counts SQEs enqueued since the last doorbell ring: a burst
+	// submitted with SubmitBatch publishes all of them with one MMIO.
+	unrung int
 }
 
 // Driver is the assembled nvme-fs stack: NVME-INI on the host, NVME-TGT
@@ -120,9 +135,21 @@ type Driver struct {
 	// o is the machine's observability hub (nil no-op when disabled).
 	o          *obs.Obs
 	oCompleted *obs.Counter
+	// oDoorbells counts doorbell MMIOs; oCoalesced counts SQEs that shared
+	// a doorbell with an earlier SQE (the MMIOs a serial submitter would
+	// have paid). oInflight/oInflightPeak gauge the async pipeline depth.
+	oDoorbells    *obs.Counter
+	oCoalesced    *obs.Counter
+	oInflight     *obs.Gauge
+	oInflightPeak *obs.Gauge
 
 	// Completed counts finished commands.
 	Completed int64
+
+	// inflight is the number of commands submitted and not yet completed,
+	// across all queues; inflightPeak is its high-water mark.
+	inflight     int64
+	inflightPeak int64
 }
 
 // NewDriver lays out the queues and buffers and starts one TGT thread per
@@ -131,10 +158,17 @@ func NewDriver(m *model.Machine, cfg Config, handler Handler) *Driver {
 	if cfg.Queues < 1 || cfg.Depth < 2 || cfg.SlotsPerQ < 1 || cfg.MaxIO < 512 || cfg.RHCap < 16 {
 		panic(fmt.Sprintf("nvmefs: bad config %+v", cfg))
 	}
+	if cfg.InflightWindow <= 0 {
+		cfg.InflightWindow = DefaultConfig().InflightWindow
+	}
 	d := &Driver{m: m, cfg: cfg, handler: handler}
 	if o := m.Obs; o.Enabled() {
 		d.o = o
 		d.oCompleted = o.Counter("nvmefs.driver.completed")
+		d.oDoorbells = o.Counter("nvmefs.driver.doorbells")
+		d.oCoalesced = o.Counter("nvmefs.driver.doorbells_coalesced")
+		d.oInflight = o.Gauge("nvmefs.driver.inflight")
+		d.oInflightPeak = o.Gauge("nvmefs.driver.inflight_peak")
 	}
 	for qid := 0; qid < cfg.Queues; qid++ {
 		sqBase := m.AllocHost(cfg.Depth*nvme.SQESize, 4096)
@@ -146,8 +180,6 @@ func NewDriver(m *model.Machine, cfg Config, handler Handler) *Driver {
 			slotCond: sim.NewCond(m.Eng, "nvme-slots"),
 			sqCond:   sim.NewCond(m.Eng, "nvme-sq"),
 			pending:  map[uint16]*pendingCmd{},
-			slotOf:   map[uint16]int{},
-			subOf:    map[uint16]*Submission{},
 			spanOf:   map[uint16]obs.Span{},
 			wStride:  64 + cfg.MaxIO,
 			rStride:  cfg.RHCap + cfg.MaxIO,
@@ -171,14 +203,74 @@ func (d *Driver) Queues() int { return d.cfg.Queues }
 // MaxIO returns the largest payload a single command may carry.
 func (d *Driver) MaxIO() int { return d.cfg.MaxIO }
 
+// Window returns the configured per-thread in-flight pipeline window.
+func (d *Driver) Window() int { return d.cfg.InflightWindow }
+
+// Inflight returns the number of commands currently submitted and not yet
+// completed (tests and gauges).
+func (d *Driver) Inflight() int64 { return d.inflight }
+
 func (qs *queueState) slotBufs(slot int) (wbuf, rbuf mem.Addr) {
 	b := qs.slabBase + mem.Addr(slot*(qs.wStride+qs.rStride))
 	return b, b + mem.Addr(qs.wStride)
 }
 
+// Pending is the host-side handle of an asynchronously submitted command.
+// The command's response is decoded and its buffer slot and CID recycled by
+// the completion interrupt itself, so a Pending never pins queue resources;
+// Wait only parks until the completion lands and charges the host-side reap
+// cost.
+type Pending struct {
+	d   *Driver
+	cid uint16
+	pd  *pendingCmd
+}
+
+// CID returns the command identifier the SQE carried (tests match
+// completions back to submissions with it).
+func (pend *Pending) CID() uint16 { return pend.cid }
+
+// Done reports whether the completion has already landed (Wait would not
+// block).
+func (pend *Pending) Done() bool { return pend.pd.done }
+
 // Submit runs one command on queue qid (callers typically pin a thread to a
 // queue) and blocks until completion.
 func (d *Driver) Submit(p *sim.Proc, qid int, sub Submission) Completion {
+	return d.SubmitAsync(p, qid, sub).Wait(p)
+}
+
+// SubmitAsync enqueues one command on queue qid, rings the doorbell, and
+// returns without waiting for completion. The caller reaps the result with
+// Pending.Wait; any number of commands may be in flight per process, bounded
+// only by queue resources (Depth CIDs, SlotsPerQ buffers per queue).
+func (d *Driver) SubmitAsync(p *sim.Proc, qid int, sub Submission) *Pending {
+	pend := d.enqueue(p, qid, sub)
+	d.ring(p, d.queues[qid%len(d.queues)])
+	return pend
+}
+
+// SubmitBatch enqueues a burst of commands on queue qid and rings the
+// doorbell ONCE for the whole burst: one MMIO instead of len(subs). The TGT
+// loop re-reads the doorbell after each SQE, so a burst published once
+// drains completely and in SQ order. If the burst exhausts buffer slots or
+// CIDs mid-way, the already-enqueued prefix is published before parking, so
+// a burst larger than the queue's resources completes instead of
+// deadlocking.
+func (d *Driver) SubmitBatch(p *sim.Proc, qid int, subs []Submission) []*Pending {
+	pends := make([]*Pending, len(subs))
+	for i := range subs {
+		pends[i] = d.enqueue(p, qid, subs[i])
+	}
+	if len(pends) > 0 {
+		d.ring(p, d.queues[qid%len(d.queues)])
+	}
+	return pends
+}
+
+// enqueue reserves resources, stages buffers and writes the SQE for one
+// command without ringing the doorbell.
+func (d *Driver) enqueue(p *sim.Proc, qid int, sub Submission) *Pending {
 	costs := d.m.Cfg.Costs
 	qs := d.queues[qid%len(d.queues)]
 	if len(sub.Payload) > d.cfg.MaxIO || sub.ReadLen > d.cfg.MaxIO {
@@ -194,8 +286,12 @@ func (d *Driver) Submit(p *sim.Proc, qid int, sub Submission) Completion {
 	s := d.o.Begin(p, "nvmefs.submit")
 	d.m.HostExec(p, costs.HostSyscall+costs.HostSubmit)
 
-	// Acquire a buffer slot and a CID, then an SQ slot.
+	// Acquire a buffer slot and a CID, then an SQ slot. Before parking,
+	// publish any batched SQEs: the TGT can only drain (and thereby free)
+	// work it has been told about, so an unrung burst must not sleep on the
+	// resources its own prefix is holding.
 	for len(qs.freeSlots) == 0 || len(qs.freeCID) == 0 {
+		d.ring(p, qs)
 		qs.slotCond.Wait(p)
 	}
 	slot := qs.freeSlots[len(qs.freeSlots)-1]
@@ -238,59 +334,65 @@ func (d *Driver) Submit(p *sim.Proc, qid int, sub Submission) Completion {
 	}
 
 	for qs.qp.SQFull() {
+		d.ring(p, qs)
 		qs.sqCond.Wait(p)
 	}
 	// Write the SQE into the SQ ring (host-local memory write).
 	sqeAddr := qs.qp.SQ.EntryAddr(qs.qp.SQTail)
 	sqe.Marshal(d.m.HostMem.Slice(sqeAddr, nvme.SQESize))
 	qs.qp.SQTail = qs.qp.SQ.Next(qs.qp.SQTail)
+	qs.unrung++
 
-	pd := &pendingCmd{cond: sim.NewCond(d.m.Eng, "nvme-cmd")}
+	pd := &pendingCmd{
+		cond:    sim.NewCond(d.m.Eng, "nvme-cmd"),
+		slot:    slot,
+		rhLen:   sub.RHLen,
+		readLen: sub.ReadLen,
+	}
 	qs.pending[cid] = pd
-	qs.slotOf[cid] = slot
-	qs.subOf[cid] = &sub
 	if s.Valid() {
 		qs.spanOf[cid] = s
 	}
 
-	// Ring the doorbell with the new tail and kick the TGT thread.
+	d.inflight++
+	if d.inflight > d.inflightPeak {
+		d.inflightPeak = d.inflight
+		d.oInflightPeak.Set(float64(d.inflightPeak))
+	}
+	d.oInflight.Set(float64(d.inflight))
+	s.End(p)
+	return &Pending{d: d, cid: cid, pd: pd}
+}
+
+// ring publishes the SQ tail with one MMIO doorbell and kicks the queue's
+// TGT thread. Every SQE enqueued since the previous ring rides the same
+// doorbell; the coalesced count is the MMIOs a serial submitter would have
+// paid on top.
+func (d *Driver) ring(p *sim.Proc, qs *queueState) {
+	if qs.unrung == 0 {
+		return
+	}
+	d.oDoorbells.Inc()
+	d.oCoalesced.Add(int64(qs.unrung - 1))
+	qs.unrung = 0
 	d.m.PCIe.MMIOWrite32(p, d.m.DPUMem, qs.doorbell, uint32(qs.qp.SQTail), "sq-doorbell")
 	qs.kick.TrySend(struct{}{})
+}
 
-	for !pd.done {
-		pd.cond.Wait(p)
+// Wait parks until the command completes and returns its decoded
+// completion. The response bytes were already pulled out of the slot buffer
+// by the completion interrupt; Wait charges the host-side reap cost.
+func (pend *Pending) Wait(p *sim.Proc) Completion {
+	d := pend.d
+	s := d.o.Begin(p, "nvmefs.wait")
+	for !pend.pd.done {
+		pend.pd.cond.Wait(p)
 	}
-
-	// Reap the completion.
-	d.m.HostExec(p, costs.HostComplete)
-	cqe := pd.cqe
-	comp := Completion{Status: cqe.Status, Result: cqe.Result}
-	if readLen > 0 && cqe.Status == nvme.StatusOK {
-		if sub.RHLen > 0 {
-			comp.Header = d.m.HostMem.Read(rbuf, sub.RHLen)
-		}
-		n := int(cqe.Result)
-		if n > sub.ReadLen {
-			n = sub.ReadLen
-		}
-		if n > 0 {
-			comp.Data = d.m.HostMem.Read(rbuf+mem.Addr(d.cfg.RHCap), n)
-		}
-	}
-
-	delete(qs.pending, cid)
-	delete(qs.slotOf, cid)
-	delete(qs.subOf, cid)
-	if s.Valid() {
-		delete(qs.spanOf, cid)
-	}
-	qs.freeSlots = append(qs.freeSlots, slot)
-	qs.freeCID = append(qs.freeCID, cid)
-	qs.slotCond.Signal()
+	d.m.HostExec(p, d.m.Cfg.Costs.HostComplete)
 	d.Completed++
 	d.oCompleted.Inc()
 	s.End(p)
-	return comp
+	return pend.pd.comp
 }
 
 // tgtLoop is one NVME-TGT thread: it consumes SQEs for a single queue.
@@ -328,6 +430,9 @@ func (d *Driver) processOne(p *sim.Proc, qs *queueState) {
 	sqeAddr := qs.qp.SQ.EntryAddr(qs.qp.SQHead)
 	sqeBytes := link.DMARead(p, hm, sqeAddr, nvme.SQESize, "sqe")
 	qs.qp.SQHead = qs.qp.SQ.Next(qs.qp.SQHead)
+	// Consuming the SQE frees a ring slot: a submitter blocked on SQFull
+	// may enqueue (and batch) its next command while this one executes.
+	qs.sqCond.Signal()
 	sqe, err := nvme.UnmarshalSQE(sqeBytes)
 	if err != nil {
 		panic("nvmefs: corrupt SQE: " + err.Error())
@@ -375,7 +480,10 @@ func (d *Driver) processOne(p *sim.Proc, qs *queueState) {
 	ts.End(p)
 }
 
-// complete posts the CQE (④) and interrupts the host.
+// complete posts the CQE (④) and interrupts the host. The interrupt
+// handler decodes the response out of the slot buffer and recycles the
+// slot and CID immediately — before anyone calls Wait — so a submitter
+// parked on slot exhaustion with a deep in-flight window always drains.
 func (d *Driver) complete(p *sim.Proc, qs *queueState, sqe nvme.SQE, resp Response) {
 	cqe := nvme.CQE{
 		Result: resp.Result,
@@ -398,12 +506,31 @@ func (d *Driver) complete(p *sim.Proc, qs *queueState, sqe nvme.SQE, resp Respon
 	if pd == nil {
 		panic(fmt.Sprintf("nvmefs: completion for unknown CID %d", sqe.CID))
 	}
-	c := cqe
+	cid := sqe.CID
 	d.m.Eng.After(d.m.Cfg.Costs.HostIRQDelay, func() {
+		comp := Completion{Status: cqe.Status, Result: cqe.Result}
+		if (pd.rhLen > 0 || pd.readLen > 0) && cqe.Status == nvme.StatusOK {
+			_, rbuf := qs.slotBufs(pd.slot)
+			if pd.rhLen > 0 {
+				comp.Header = d.m.HostMem.Read(rbuf, pd.rhLen)
+			}
+			n := int(cqe.Result)
+			if n > pd.readLen {
+				n = pd.readLen
+			}
+			if n > 0 {
+				comp.Data = d.m.HostMem.Read(rbuf+mem.Addr(d.cfg.RHCap), n)
+			}
+		}
+		pd.comp = comp
 		pd.done = true
-		pd.cqe = c
+		delete(qs.pending, cid)
+		delete(qs.spanOf, cid)
+		qs.freeSlots = append(qs.freeSlots, pd.slot)
+		qs.freeCID = append(qs.freeCID, cid)
+		d.inflight--
+		d.oInflight.Set(float64(d.inflight))
+		qs.slotCond.Signal()
 		pd.cond.Signal()
 	})
-	// SQ space freed: let a blocked submitter proceed.
-	qs.sqCond.Signal()
 }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race torture check bench-json
+.PHONY: build test vet race torture check check-faults bench-json
 
 build:
 	$(GO) build ./...
@@ -14,12 +14,20 @@ test:
 # Race-detector pass over the packages with shared mutable state reached
 # from multiple goroutines in tests (observability hub, hybrid cache).
 race:
-	$(GO) test -race ./internal/obs/... ./internal/cache/...
+	$(GO) test -race ./internal/obs/... ./internal/cache/... ./internal/fault/... ./internal/nvmefs/...
 
 # Short fixed-seed differential torture: every stack, 8 seeds, 2000 ops
 # each, replayed against the in-memory oracle (see internal/check).
 torture:
 	$(GO) run ./cmd/dpccheck -seeds 8 -ops 2000
+
+# Differential torture under deterministic fault injection: the dpc stacks
+# run the oracle traces while the per-seed schedule drops completions,
+# corrupts SQEs/CQEs, crashes workers, freezes the controller and fails
+# backend I/O. Every op must still succeed with correct bytes or fail
+# cleanly.
+check-faults:
+	$(GO) run ./cmd/dpccheck -faults -seeds 4 -ops 1500
 
 # Machine-readable metrics + trace from the instrumented reference workload,
 # plus the serial-vs-pipelined large-I/O comparison (the perf trajectory).

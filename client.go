@@ -22,6 +22,9 @@ var (
 	ErrIsDir    = errors.New("dpc: is a directory")
 	ErrNotEmpty = errors.New("dpc: directory not empty")
 	ErrIO       = errors.New("dpc: I/O error")
+	// ErrTimeout is returned when a command exhausted its retry budget
+	// after repeated deadline expiries (fault runs only).
+	ErrTimeout = errors.New("dpc: command timed out")
 )
 
 func statusErr(s uint16) error {
@@ -38,6 +41,8 @@ func statusErr(s uint16) error {
 		return ErrIsDir
 	case nvme.StatusNotEmpty:
 		return ErrNotEmpty
+	case nvme.StatusTimeout:
+		return ErrTimeout
 	default:
 		return fmt.Errorf("%w: %s", ErrIO, nvme.StatusString(s))
 	}
@@ -366,7 +371,10 @@ func (f *File) write(p *sim.Proc, qid int, off uint64, data []byte, direct bool)
 	if c.cacheHost != nil {
 		ps = uint64(c.cacheHost.L.PageSize)
 	}
-	if direct || ps == 0 || len(data) == 0 {
+	if direct || ps == 0 || len(data) == 0 || c.cacheHost.Degraded() {
+		// A degraded cache (persistent backend flush failure) routes writes
+		// straight to the backend — buffering them would only grow the pool
+		// of dirty pages that cannot be written back.
 		return f.writeDirect(p, qid, off, data)
 	}
 	end := off + uint64(len(data))

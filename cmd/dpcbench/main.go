@@ -38,8 +38,17 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "run the instrumented reference workload, write its metrics snapshot (JSON) to this file and exit")
 		traceOut   = flag.String("trace-out", "", "with -metrics-out: also write the span tree as Perfetto/Chrome trace JSON to this file")
 		largeioOut = flag.String("largeio-out", "", "run the sequential large-I/O workload (serial vs pipelined submission), write its JSON report to this file and exit")
+		faults     = flag.Bool("faults", false, "run the reference workload under the canned fault schedule, report recovery counters and exit")
 	)
 	flag.Parse()
+
+	if *faults {
+		if err := runFaultScenario(); err != nil {
+			fmt.Fprintln(os.Stderr, "fault scenario:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *metricsOut != "" || *largeioOut != "" {
 		if *metricsOut != "" {

@@ -6,6 +6,12 @@
 //	dpccheck                          # default: all stacks, 8 seeds, 2000 ops
 //	dpccheck -stacks kvfs-cache -seeds 32 -ops 5000 -v
 //	dpccheck -stacks localfs -seed 1234 -seeds 1 -shrink=false
+//	dpccheck -faults                  # inject the per-seed fault schedule
+//
+// With -faults each (stack, seed) pair runs under a deterministic fault
+// schedule derived from the seed (dropped completions, corrupt SQEs/CQEs,
+// worker crashes, controller freezes, backend errors); the oracle still
+// requires every op to succeed with correct bytes or fail cleanly.
 //
 // Exit status 1 when any stack diverges from the oracle; the report
 // includes a minimal shrunk trace and the command line that reproduces it.
@@ -30,11 +36,13 @@ func main() {
 		shrink     = flag.Bool("shrink", true, "delta-debug failing traces to a minimal reproducer")
 		parallel   = flag.Int("parallel", 0, "concurrent worlds (default GOMAXPROCS)")
 		verbose    = flag.Bool("v", false, "log every (stack, seed) result")
+		faults     = flag.Bool("faults", false, "inject the deterministic per-seed fault schedule (stacks: "+strings.Join(check.FaultStackNames(), ",")+")")
 	)
 	flag.Parse()
 
 	cfg := check.SuiteConfig{
 		Ops:      *ops,
+		Faults:   *faults,
 		Shrink:   *shrink,
 		Parallel: *parallel,
 	}
@@ -55,6 +63,9 @@ func main() {
 	stacks := cfg.Stacks
 	if len(stacks) == 0 {
 		stacks = check.StackNames()
+		if *faults {
+			stacks = check.FaultStackNames()
+		}
 	}
 	if len(failures) == 0 {
 		fmt.Printf("ok: %d stacks x %d seeds x %d ops diverged nowhere\n",
@@ -63,8 +74,12 @@ func main() {
 	}
 	for _, f := range failures {
 		fmt.Printf("FAIL %v\n", f)
-		fmt.Printf("  reproduce: go run ./cmd/dpccheck -stacks %s -seed %d -seeds 1 -ops %d\n",
-			f.Stack, f.Seed, *ops)
+		faultArg := ""
+		if f.Faults {
+			faultArg = " -faults"
+		}
+		fmt.Printf("  reproduce: go run ./cmd/dpccheck -stacks %s -seed %d -seeds 1 -ops %d%s\n",
+			f.Stack, f.Seed, *ops, faultArg)
 		if len(f.Trace) <= 40 {
 			fmt.Println("  minimal trace:")
 			for _, op := range f.Trace {

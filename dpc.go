@@ -29,12 +29,12 @@
 package dpc
 
 import (
-	"fmt"
 	"time"
 
 	"dpc/internal/cache"
 	"dpc/internal/dfs"
 	"dpc/internal/dispatch"
+	"dpc/internal/fault"
 	"dpc/internal/kv"
 	"dpc/internal/kvfs"
 	"dpc/internal/model"
@@ -67,6 +67,12 @@ type Options struct {
 	CachePageSize int
 	CacheBuckets  int
 	Ctl           cache.CtlConfig
+
+	// Faults, when non-empty, attaches a deterministic fault injector with
+	// this rule schedule to the nvme-fs driver, the PCIe link and the cache
+	// controllers. Empty leaves every fault hook nil: the data path behaves
+	// (and meters) exactly as a fault-free build.
+	Faults []fault.Rule
 
 	// Compression and DIF enable DPU-side block transforms on KVFS data
 	// (§3.3's flush-time processing: the DPU compresses and/or tags blocks
@@ -107,6 +113,8 @@ type System struct {
 	Driver *nvmefs.Driver
 	// Dispatcher is the DPU IO_Dispatch module.
 	Dispatcher *dispatch.Dispatcher
+	// Faults is the fault injector (nil unless Options.Faults was set).
+	Faults *fault.Injector
 
 	// KVFS-side components (nil unless EnableKVFS).
 	KVFS      *kvfs.FS
@@ -157,6 +165,19 @@ func New(opts Options) *System {
 
 	sys.Dispatcher = dispatch.New(m, sys.kvfsSvc, sys.dfsSvc)
 	sys.Driver = nvmefs.NewDriver(m, opts.NvmeFS, sys.handle)
+
+	if len(opts.Faults) > 0 {
+		sys.Faults = fault.New(m.Eng, opts.Faults)
+		sys.Faults.AttachObs(m.Obs)
+		sys.Driver.SetFaults(sys.Faults)
+		m.PCIe.SetFaults(sys.Faults)
+		if sys.kvfsSvc != nil && sys.kvfsSvc.Ctl != nil {
+			sys.kvfsSvc.Ctl.SetFaults(sys.Faults)
+		}
+		if sys.dfsSvc != nil && sys.dfsSvc.Ctl != nil {
+			sys.dfsSvc.Ctl.SetFaults(sys.Faults)
+		}
+	}
 	return sys
 }
 
@@ -268,20 +289,18 @@ func (b dfsPageBackend) ReadPage(p *sim.Proc, ino, lpn uint64, pageSize int) ([]
 	return data, true
 }
 
-func (b dfsPageBackend) WritePage(p *sim.Proc, ino, lpn uint64, pageSize int, data []byte) {
+func (b dfsPageBackend) WritePage(p *sim.Proc, ino, lpn uint64, pageSize int, data []byte) error {
 	off := lpn * uint64(pageSize)
 	// Clamp the whole-page flush to the file's true EOF so write-back never
 	// inflates the size recorded at the MDS. An unknown size means no local
 	// delegation — write unclamped rather than drop data.
 	if size, ok := b.core.SizeOf(ino); ok {
 		if off >= size {
-			return
+			return nil
 		}
 		if end := off + uint64(len(data)); end > size {
 			data = data[:size-off]
 		}
 	}
-	if err := b.core.Write(p, ino, off, data); err != nil {
-		panic(fmt.Sprintf("dpc: cache flush write failed: %v", err))
-	}
+	return b.core.Write(p, ino, off, data)
 }

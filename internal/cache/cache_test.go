@@ -2,6 +2,7 @@ package cache
 
 import (
 	"bytes"
+	"dpc/internal/fault"
 	"fmt"
 	"testing"
 	"time"
@@ -28,9 +29,10 @@ func (b *memBackend) ReadPage(p *sim.Proc, ino, lpn uint64, pageSize int) ([]byt
 	return append([]byte(nil), d...), true
 }
 
-func (b *memBackend) WritePage(p *sim.Proc, ino, lpn uint64, pageSize int, data []byte) {
+func (b *memBackend) WritePage(p *sim.Proc, ino, lpn uint64, pageSize int, data []byte) error {
 	b.writes++
 	b.pages[[2]uint64{ino, lpn}] = append([]byte(nil), data...)
+	return nil
 }
 
 func newTestCache(t *testing.T, pages, buckets int, ctlCfg CtlConfig) (*model.Machine, Layout, *Host, *Ctl, *memBackend) {
@@ -187,7 +189,7 @@ func TestFlushWritesBackAndMarksClean(t *testing.T) {
 		t.Fatalf("dirty = %d", h.DirtyCount())
 	}
 	m.Eng.Go("dpu", func(p *sim.Proc) {
-		if n := c.FlushPass(p, 100); n != 10 {
+		if n, _ := c.FlushPass(p, 100); n != 10 {
 			t.Errorf("FlushPass = %d", n)
 		}
 	})
@@ -428,5 +430,79 @@ func TestEntryRefRoundTrip(t *testing.T) {
 	encodeEntry(b[:], e)
 	if got := DecodeEntry(b[:]); got != e {
 		t.Fatalf("round trip = %+v, want %+v", got, e)
+	}
+}
+
+// TestDegradedEntryAndExit drives the ctl through the full degraded-mode
+// cycle: persistent injected flush failures trip the threshold and raise
+// the shared-header flag the host routes on; the first successful flush
+// after injection stops clears it.
+func TestDegradedEntryAndExit(t *testing.T) {
+	m, _, h, c, b := newTestCache(t, 64, 8, CtlConfig{FlushEnabled: false})
+	// Every flush fails until the rule budget (12) runs out.
+	in := fault.New(m.Eng, []fault.Rule{
+		{Site: fault.SiteCacheFlush, Kind: fault.KindBackendWriteErr, Count: 12},
+	})
+	c.SetFaults(in)
+	m.Eng.Go("host", func(p *sim.Proc) {
+		for lpn := uint64(0); lpn < 6; lpn++ {
+			h.WritePage(p, 5, lpn, page(byte(lpn+1)))
+		}
+	})
+	m.Eng.Run()
+	m.Eng.Go("dpu", func(p *sim.Proc) {
+		n, err := c.FlushPass(p, 100)
+		if n != 0 || err == nil {
+			t.Errorf("FlushPass under injection = (%d, %v), want (0, error)", n, err)
+		}
+	})
+	m.Eng.Run()
+	// 6 consecutive failures >= threshold (4): degraded, flag visible to
+	// both sides, pages still dirty.
+	if !c.Degraded() || !h.Degraded() {
+		t.Fatalf("degraded: ctl=%v host=%v, want true/true", c.Degraded(), h.Degraded())
+	}
+	if c.DegradedEntries.Total() != 1 {
+		t.Fatalf("entries = %d", c.DegradedEntries.Total())
+	}
+	if h.DirtyCount() != 6 || b.writes != 0 {
+		t.Fatalf("dirty=%d backendWrites=%d, want 6/0", h.DirtyCount(), b.writes)
+	}
+	// Injection stops; the next pass flushes everything and recovers.
+	in.Disarm()
+	m.Eng.Go("dpu", func(p *sim.Proc) {
+		if n, err := c.FlushPass(p, 100); n != 6 || err != nil {
+			t.Errorf("recovery FlushPass = (%d, %v), want (6, nil)", n, err)
+		}
+	})
+	m.Eng.Run()
+	m.Eng.Shutdown()
+	if c.Degraded() || h.Degraded() {
+		t.Fatal("still degraded after successful flush")
+	}
+	if c.DegradedExits.Total() != 1 || h.DirtyCount() != 0 || b.writes != 6 {
+		t.Fatalf("exits=%d dirty=%d writes=%d, want 1/0/6", c.DegradedExits.Total(), h.DirtyCount(), b.writes)
+	}
+}
+
+// TestFlushInoSurfacesPersistentFailure pins the fsync path: an inode flush
+// against a dead backend reports an error after bounded retries instead of
+// spinning forever.
+func TestFlushInoSurfacesPersistentFailure(t *testing.T) {
+	m, _, h, c, _ := newTestCache(t, 64, 8, CtlConfig{FlushEnabled: false})
+	c.SetFaults(fault.New(m.Eng, []fault.Rule{
+		{Site: fault.SiteCacheFlush, Kind: fault.KindBackendWriteErr}, // forever
+	}))
+	m.Eng.Go("host", func(p *sim.Proc) { h.WritePage(p, 3, 0, page(0xCC)) })
+	m.Eng.Run()
+	m.Eng.Go("dpu", func(p *sim.Proc) {
+		if n, err := c.FlushIno(p, 3); err == nil {
+			t.Errorf("FlushIno = (%d, nil), want error", n)
+		}
+	})
+	m.Eng.Run()
+	m.Eng.Shutdown()
+	if h.DirtyCount() != 1 {
+		t.Fatalf("page vanished: dirty = %d", h.DirtyCount())
 	}
 }

@@ -2,7 +2,9 @@ package cache
 
 import (
 	"fmt"
+	"time"
 
+	"dpc/internal/fault"
 	"dpc/internal/model"
 	"dpc/internal/obs"
 	"dpc/internal/sim"
@@ -18,7 +20,9 @@ type Backend interface {
 	// the backend can derive the byte offset (lpn*pageSize) even when the
 	// payload is shorter than a page, and clamp the write-back to the
 	// file's true EOF rather than extending it to the page boundary.
-	WritePage(p *sim.Proc, ino, lpn uint64, pageSize int, data []byte)
+	// A non-nil error leaves the page dirty in the cache: the ctl retries
+	// on later passes and enters degraded mode if failures persist.
+	WritePage(p *sim.Proc, ino, lpn uint64, pageSize int, data []byte) error
 }
 
 // RangeBackend is implemented by backends that can fetch a run of pages in
@@ -93,6 +97,22 @@ type Ctl struct {
 	Evictions  stats.Counter
 	Prefetches stats.Counter
 	Fills      stats.Counter
+	// Failure-path counters: backend flush/fill errors and degraded-mode
+	// transitions. Nonzero only when the backend fails (injected or real).
+	FlushErrs       stats.Counter
+	FillErrs        stats.Counter
+	DegradedEntries stats.Counter
+	DegradedExits   stats.Counter
+
+	// faults is consulted around backend calls; nil means no injection.
+	faults *fault.Injector
+	// degraded mirrors the header flag at Base+16: set after
+	// degradedThreshold consecutive backend flush failures, cleared by the
+	// first flush that lands. While set, the host routes writes around the
+	// cache and the DPU read path stops filling (see cache.Host.Degraded
+	// and dispatch).
+	degraded   bool
+	flushFails int
 
 	// obs mirrors, cached at construction; nil no-op sinks when disabled.
 	o           *obs.Obs
@@ -100,6 +120,57 @@ type Ctl struct {
 	oEvictions  *obs.Counter
 	oPrefetches *obs.Counter
 	oFills      *obs.Counter
+	// Failure-path mirrors, registered lazily by SetFaults so fault-free
+	// metric snapshots keep their exact key set.
+	oFlushErrs *obs.Counter
+	oFillErrs  *obs.Counter
+	oDegraded  *obs.Gauge
+}
+
+// degradedThreshold is how many consecutive backend flush failures flip
+// the cache into degraded mode.
+const degradedThreshold = 4
+
+// SetFaults attaches a fault injector to the ctl's backend call sites and
+// registers the failure metrics.
+func (c *Ctl) SetFaults(in *fault.Injector) {
+	c.faults = in
+	if in == nil {
+		return
+	}
+	if o := c.m.Obs; o.Enabled() {
+		c.oFlushErrs = o.Counter("cache.ctl.flush_errs")
+		c.oFillErrs = o.Counter("cache.ctl.fill_errs")
+		c.oDegraded = o.Gauge("cache.ctl.degraded")
+	}
+}
+
+// Degraded reports whether the cache is currently in degraded mode.
+func (c *Ctl) Degraded() bool { return c.degraded }
+
+// noteFlushFailure advances the failure streak and enters degraded mode at
+// the threshold, publishing the flag in the shared header word so the host
+// data plane sees it without a control round-trip.
+func (c *Ctl) noteFlushFailure(p *sim.Proc) {
+	c.flushFails++
+	if !c.degraded && c.flushFails >= degradedThreshold {
+		c.degraded = true
+		c.DegradedEntries.Inc()
+		c.oDegraded.Set(1)
+		c.m.PCIe.AtomicStore32(p, c.m.HostMem, c.L.Base+16, 1, "cache-degraded")
+	}
+}
+
+// noteFlushSuccess resets the streak; the first successful write-back after
+// a failure run ends degraded mode.
+func (c *Ctl) noteFlushSuccess(p *sim.Proc) {
+	c.flushFails = 0
+	if c.degraded {
+		c.degraded = false
+		c.DegradedExits.Inc()
+		c.oDegraded.Set(0)
+		c.m.PCIe.AtomicStore32(p, c.m.HostMem, c.L.Base+16, 0, "cache-degraded")
+	}
 }
 
 // Stop makes the flush daemon exit after its current sleep, letting
@@ -193,15 +264,16 @@ func (c *Ctl) flushDaemon(p *sim.Proc) {
 // FlushPass scans the whole meta area (chunked DMA reads), collects dirty
 // entries and flushes up to maxPages of them with a pool of parallel worker
 // processes (a serial flusher could never keep up with write-back load).
-// It returns the number flushed.
-func (c *Ctl) FlushPass(p *sim.Proc, maxPages int) int {
+// It returns the number flushed and the first backend error encountered
+// (pages whose write-back failed stay dirty for a later pass).
+func (c *Ctl) FlushPass(p *sim.Proc, maxPages int) (int, error) {
 	s := c.o.Begin(p, "cache.flush_pass")
-	n := c.flushPass(p, maxPages)
+	n, err := c.flushPass(p, maxPages)
 	s.End(p)
-	return n
+	return n, err
 }
 
-func (c *Ctl) flushPass(p *sim.Proc, maxPages int) int {
+func (c *Ctl) flushPass(p *sim.Proc, maxPages int) (int, error) {
 	var dirty []int
 	const chunkEntries = 128
 	for base := 0; base < c.L.Total && len(dirty) < maxPages; base += chunkEntries {
@@ -217,7 +289,7 @@ func (c *Ctl) flushPass(p *sim.Proc, maxPages int) int {
 			}
 		}
 	}
-	return c.flushWindow(p, dirty, func(pp *sim.Proc, i int) bool {
+	return c.flushWindow(p, dirty, func(pp *sim.Proc, i int) (bool, error) {
 		return c.flushOne(pp, i)
 	})
 }
@@ -226,9 +298,9 @@ func (c *Ctl) flushPass(p *sim.Proc, maxPages int) int {
 // processes (FlushWorkers wide; a serial flusher could never keep up with
 // write-back load) and returns how many flushed. flush is the per-entry
 // attempt; it reports whether this call flushed the entry.
-func (c *Ctl) flushWindow(p *sim.Proc, entries []int, flush func(pp *sim.Proc, i int) bool) int {
+func (c *Ctl) flushWindow(p *sim.Proc, entries []int, flush func(pp *sim.Proc, i int) (bool, error)) (int, error) {
 	if len(entries) == 0 {
-		return 0
+		return 0, nil
 	}
 	workers := c.cfg.FlushWorkers
 	if workers > len(entries) {
@@ -237,14 +309,19 @@ func (c *Ctl) flushWindow(p *sim.Proc, entries []int, flush func(pp *sim.Proc, i
 	flushed := 0
 	next := 0
 	remaining := workers
+	var firstErr error
 	done := sim.NewCond(c.m.Eng, "flush-join")
 	for w := 0; w < workers; w++ {
 		c.m.Eng.Go("cache-flush-w", func(pp *sim.Proc) {
 			for next < len(entries) {
 				i := entries[next]
 				next++
-				if flush(pp, i) {
+				ok, err := flush(pp, i)
+				if ok {
 					flushed++
+				}
+				if err != nil && firstErr == nil {
+					firstErr = err
 				}
 			}
 			remaining--
@@ -256,7 +333,7 @@ func (c *Ctl) flushWindow(p *sim.Proc, entries []int, flush func(pp *sim.Proc, i
 	for remaining > 0 {
 		done.Wait(p)
 	}
-	return flushed
+	return flushed, firstErr
 }
 
 // FlushIno flushes every dirty page belonging to one inode (fsync):
@@ -267,8 +344,10 @@ func (c *Ctl) flushWindow(p *sim.Proc, entries []int, flush func(pp *sim.Proc, i
 // not yet written to the backend. An entry we cannot lock is therefore
 // re-checked until it is either flushed here or observed clean (the
 // concurrent flusher marks it clean only after its backend write lands).
-// Returns the number flushed.
-func (c *Ctl) FlushIno(p *sim.Proc, ino uint64) int {
+// Returns the number flushed; a persistent backend failure surfaces as an
+// error after a bounded number of attempts (the page stays dirty), so a
+// failing fsync reports failure instead of livelocking.
+func (c *Ctl) FlushIno(p *sim.Proc, ino uint64) (int, error) {
 	var dirty []int
 	const chunkEntries = 128
 	for base := 0; base < c.L.Total; base += chunkEntries {
@@ -288,53 +367,82 @@ func (c *Ctl) FlushIno(p *sim.Proc, ino uint64) int {
 	// blocking flushOne at a time. Each worker keeps the must-settle spin:
 	// an entry it cannot lock is re-checked until it is either flushed here
 	// or observed clean/replaced.
-	return c.flushWindow(p, dirty, func(pp *sim.Proc, i int) bool {
+	return c.flushWindow(p, dirty, func(pp *sim.Proc, i int) (bool, error) {
+		fails := 0
 		for spins := 0; ; spins++ {
 			if spins > 1<<20 {
 				panic("cache: FlushIno livelocked on a held entry lock")
 			}
-			if c.flushOne(pp, i) {
-				return true
+			ok, err := c.flushOne(pp, i)
+			if ok {
+				return true, nil
+			}
+			if err != nil {
+				// Backend failure: the page is still dirty. Retry a bounded
+				// number of times, then report the error — the caller's
+				// fsync fails cleanly rather than spinning forever.
+				if fails++; fails >= 8 {
+					return false, err
+				}
+				pp.Sleep(20 * time.Microsecond)
+				continue
 			}
 			// Lock held or state changed: either a concurrent flush is
 			// writing this page back, or the host replaced the entry.
 			// Re-read and wait until it is no longer our dirty page.
 			cur := c.readEntryRemote(pp, i)
 			if cur.Status != StatusDirty || cur.Ino != ino {
-				return false
+				return false, nil
 			}
 		}
 	})
 }
 
 // flushOne safely flushes entry i: read-lock, pull the page to DPU DRAM,
-// process, write to the backend, mark clean, unlock.
-func (c *Ctl) flushOne(p *sim.Proc, i int) bool {
+// process, write to the backend, mark clean, unlock. ok=false with a nil
+// error means the entry was not ours to flush (lock held, already clean);
+// a non-nil error means the backend write failed and the page stays dirty.
+func (c *Ctl) flushOne(p *sim.Proc, i int) (bool, error) {
 	s := c.o.Begin(p, "cache.flush_page")
-	ok := c.doFlushOne(p, i)
+	ok, err := c.doFlushOne(p, i)
 	s.End(p)
-	return ok
+	return ok, err
 }
 
-func (c *Ctl) doFlushOne(p *sim.Proc, i int) bool {
+func (c *Ctl) doFlushOne(p *sim.Proc, i int) (bool, error) {
 	if !c.lock(p, i, LockRead) {
-		return false
+		return false, nil
 	}
 	e := c.readEntryRemote(p, i) // state may have changed before lock
 	if e.Status != StatusDirty {
 		c.unlock(p, i)
-		return false
+		return false, nil
 	}
 	// Pull the page into DPU DRAM by DMA.
 	data := c.m.PCIe.DMARead(p, c.m.HostMem, c.L.PageAddr(i), c.L.PageSize, "cache-pull")
 	// Relevant computing (compression, DIF, EC...) happens here on the DPU.
 	c.m.DPUExec(p, c.m.Cfg.Costs.DPUFlushPage)
-	c.backend.WritePage(p, e.Ino, e.LPN, c.L.PageSize, data)
+	var err error
+	if kind, _, injected := c.faults.At(fault.SiteCacheFlush); injected && kind == fault.KindBackendWriteErr {
+		err = fault.Errf(kind, "flush ino %d lpn %d", e.Ino, e.LPN)
+	} else {
+		err = c.backend.WritePage(p, e.Ino, e.LPN, c.L.PageSize, data)
+	}
+	if err != nil {
+		// Leave the page dirty: a later pass retries it. Persistent
+		// failures trip degraded mode via the failure streak.
+		c.unlock(p, i)
+		c.FlushErrs.Inc()
+		c.oFlushErrs.Inc()
+		c.noteFlushFailure(p)
+		return false, err
+	}
 	c.setStatus(p, i, StatusClean)
 	c.unlock(p, i)
 	c.Flushes.Inc()
 	c.oFlushes.Inc()
-	return true
+	c.noteFlushSuccess(p)
+	return true, nil
 }
 
 // FillPage inserts a page into the host cache from the DPU side (read-miss
@@ -499,7 +607,7 @@ func (c *Ctl) reclaimBucket(p *sim.Proc, ino, lpn uint64, want int) int {
 			continue
 		}
 		i := lo + k
-		if !c.flushOne(p, i) {
+		if ok, _ := c.flushOne(p, i); !ok {
 			continue
 		}
 		if !c.lock(p, i, LockWrite) {
@@ -597,6 +705,12 @@ func (c *Ctl) NotifyRead(p *sim.Proc, ino, lpn uint64) {
 	// parallel so the prefetcher stays ahead of the reader.
 	if rb, ok := c.backend.(RangeBackend); ok {
 		c.m.Eng.Go("cache-prefetch", func(pp *sim.Proc) {
+			if c.fillFaulted() {
+				for _, l := range toFetch {
+					delete(c.inflight, [2]uint64{ino, l})
+				}
+				return
+			}
 			var need []uint64
 			for _, l := range toFetch {
 				if !c.present(pp, ino, l) {
@@ -627,7 +741,7 @@ func (c *Ctl) NotifyRead(p *sim.Proc, ino, lpn uint64) {
 	for _, l := range toFetch {
 		l := l
 		c.m.Eng.Go("cache-prefetch", func(pp *sim.Proc) {
-			if !c.present(pp, ino, l) {
+			if !c.fillFaulted() && !c.present(pp, ino, l) {
 				if data, ok := c.backend.ReadPage(pp, ino, l, c.L.PageSize); ok {
 					c.FillPage(pp, ino, l, data)
 					c.Prefetches.Inc()
@@ -636,6 +750,20 @@ func (c *Ctl) NotifyRead(p *sim.Proc, ino, lpn uint64) {
 			delete(c.inflight, [2]uint64{ino, l})
 		})
 	}
+}
+
+// fillFaulted consults the injector on the fill/prefetch path: a fired
+// KindBackendReadErr makes this window's backend read fail, so the
+// prefetcher skips it (a prefetch is best-effort by construction — the
+// reader falls back to its own miss path).
+func (c *Ctl) fillFaulted() bool {
+	kind, _, injected := c.faults.At(fault.SiteCacheFill)
+	if injected && kind == fault.KindBackendReadErr {
+		c.FillErrs.Inc()
+		c.oFillErrs.Inc()
+		return true
+	}
+	return false
 }
 
 // present reports whether <ino, lpn> is resident in the host cache, by one

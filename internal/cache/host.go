@@ -42,6 +42,12 @@ func NewHost(m *model.Machine, l Layout) *Host {
 	return h
 }
 
+// Degraded reports whether the DPU ctl has flagged the cache degraded
+// (persistent backend write-back failure). Host-local memory read; the
+// client checks it to route writes directly to the backend instead of
+// accumulating dirty pages that cannot be flushed.
+func (h *Host) Degraded() bool { return h.m.HostMem.Uint32(h.L.Base+16) != 0 }
+
 // findEntry scans a bucket's chain for <ino, lpn>, returning the entry index
 // or -1. Host-local memory walk. StatusInvalid entries count as present:
 // that is the DPU's fill-pending claim, and treating a claimed page as

@@ -191,6 +191,10 @@ func InitHeader(r *mem.Region, l Layout, mode uint32) {
 	r.PutUint32(l.Base+4, mode)
 	r.PutUint32(l.Base+8, uint32(l.Total))
 	r.PutUint32(l.Base+12, uint32(l.Total))
+	// Base+16 is the degraded flag: the ctl sets it (remotely, over PCIe)
+	// when backend write-back keeps failing, and the host reads it to route
+	// writes around the cache. Starts healthy.
+	r.PutUint32(l.Base+16, 0)
 	for b := 0; b < l.Buckets; b++ {
 		lo, hi := l.BucketEntries(b)
 		for i := lo; i < hi; i++ {

@@ -188,3 +188,37 @@ func TestShrinkMinimizes(t *testing.T) {
 		t.Fatal("shrunk trace does not reproduce the failure")
 	}
 }
+
+// TestShortTortureWithFaults runs the differential oracle against every
+// fault-capable stack under the per-seed deterministic fault schedule.
+// The robustness contract: every op succeeds with correct bytes or fails
+// cleanly — injected drops, corruption, crashes and backend errors must
+// never surface as wrong data or a wedged stack.
+func TestShortTortureWithFaults(t *testing.T) {
+	for _, stack := range FaultStackNames() {
+		stack := stack
+		t.Run(stack, func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range []int64{1, 2} {
+				w, err := NewFaultWorld(stack, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				trace := GenTrace(seed, 300, w.Caps())
+				fail := runTraceOn(w, seed, trace)
+				w.Close()
+				if fail != nil {
+					t.Fatalf("seed %d diverged under injection: %v", seed, fail)
+				}
+			}
+		})
+	}
+}
+
+// TestFaultWorldRejectsBaselines: stacks without injector hooks must refuse
+// fault construction rather than silently running fault-free.
+func TestFaultWorldRejectsBaselines(t *testing.T) {
+	if _, err := NewFaultWorld("localfs", 1); err == nil {
+		t.Fatal("localfs accepted a fault schedule it cannot inject")
+	}
+}

@@ -16,11 +16,12 @@ const verifyEvery = 96
 
 // Failure describes a divergence between a stack and the oracle.
 type Failure struct {
-	Stack string
-	Seed  int64
-	OpIdx int // index into Trace of the failing op; len(Trace) = end-phase
-	Diff  string
-	Trace []Op
+	Stack  string
+	Seed   int64
+	OpIdx  int // index into Trace of the failing op; len(Trace) = end-phase
+	Diff   string
+	Trace  []Op
+	Faults bool // reproduce with NewFaultWorld(Stack, Seed), not NewWorld
 }
 
 func (f *Failure) Error() string {
@@ -63,6 +64,10 @@ func runTraceOn(w *World, seed int64, trace []Op) *Failure {
 				}
 			}
 		}
+		// Stop injecting before the final settle/verify: the oracle judges
+		// the stack's *recovered* state — everything retried, flushed and
+		// readable once faults cease — not its behavior mid-outage.
+		w.Disarm()
 		w.Settle(p)
 		w.Barrier(p)
 		if d := verifyTree(p, w, o); d != "" {
@@ -124,7 +129,13 @@ func verifyTree(p *sim.Proc, w *World, o *Oracle) string {
 // with the identical diff — any divergence is a reproducer). budget bounds
 // the number of replays.
 func Shrink(fail *Failure, budget int) (*Failure, error) {
-	return shrinkWith(func() (*World, error) { return NewWorld(fail.Stack) }, fail, budget)
+	factory := func() (*World, error) { return NewWorld(fail.Stack) }
+	if fail.Faults {
+		// Fault schedules are a pure function of (stack, seed), so the
+		// shrunk trace replays under the exact same injected faults.
+		factory = func() (*World, error) { return NewFaultWorld(fail.Stack, fail.Seed) }
+	}
+	return shrinkWith(factory, fail, budget)
 }
 
 // sanitize drops ops that fall outside the stack's capability envelope
@@ -224,6 +235,7 @@ type SuiteConfig struct {
 	Stacks       []string // nil = all stacks
 	Seeds        []int64
 	Ops          int  // trace length per (stack, seed)
+	Faults       bool // run under the deterministic per-seed fault schedule
 	Shrink       bool // delta-debug failures before reporting
 	ShrinkBudget int  // max replays per shrink; 0 = 200
 	Parallel     int  // concurrent worlds; 0 = GOMAXPROCS
@@ -237,6 +249,9 @@ func RunSuite(cfg SuiteConfig) ([]*Failure, error) {
 	stacks := cfg.Stacks
 	if len(stacks) == 0 {
 		stacks = StackNames()
+		if cfg.Faults {
+			stacks = FaultStackNames()
+		}
 	}
 	logf := cfg.Logf
 	if logf == nil {
@@ -271,7 +286,13 @@ func RunSuite(cfg SuiteConfig) ([]*Failure, error) {
 		sem <- struct{}{}
 		go func() {
 			defer func() { <-sem; wg.Done() }()
-			w, err := NewWorld(j.stack)
+			var w *World
+			var err error
+			if cfg.Faults {
+				w, err = NewFaultWorld(j.stack, j.seed)
+			} else {
+				w, err = NewWorld(j.stack)
+			}
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -283,6 +304,9 @@ func RunSuite(cfg SuiteConfig) ([]*Failure, error) {
 			trace := GenTrace(j.seed, cfg.Ops, w.Caps())
 			fail := runTraceOn(w, j.seed, trace)
 			w.Close()
+			if fail != nil {
+				fail.Faults = cfg.Faults
+			}
 			if fail == nil {
 				logf("ok   %-11s seed=%-4d (%d ops)", j.stack, j.seed, len(trace))
 				return

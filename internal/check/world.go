@@ -6,6 +6,7 @@ import (
 
 	"dpc"
 	"dpc/internal/dfs"
+	"dpc/internal/fault"
 	"dpc/internal/kvfs"
 	"dpc/internal/localfs"
 	"dpc/internal/model"
@@ -26,6 +27,7 @@ type World struct {
 	barrier func(p *sim.Proc)          // flush everything dirty
 	fsck    func(p *sim.Proc) []string // offline consistency check, nil if none
 	close   func()
+	disarm  func() // stop fault injection (fault worlds only)
 
 	// injectBug, when non-nil, swaps the live cache's write-back for the
 	// pre-fix behavior that flushed whole pages without clamping to EOF.
@@ -75,6 +77,14 @@ func (w *World) Close() {
 	}
 }
 
+// Disarm stops fault injection so the final settle/barrier/verify runs
+// against a healthy stack. No-op on fault-free worlds.
+func (w *World) Disarm() {
+	if w.disarm != nil {
+		w.disarm()
+	}
+}
+
 // InjectLegacyFlushBug reinstates the historical unclamped whole-page
 // write-back on stacks that have a hybrid cache. Returns false if the stack
 // has no cache to sabotage.
@@ -95,9 +105,9 @@ func StackNames() []string {
 func NewWorld(name string) (*World, error) {
 	switch name {
 	case "kvfs-direct":
-		return newKVFSWorld(name, 0), nil
+		return newKVFSWorld(name, 0, nil), nil
 	case "kvfs-cache":
-		return newKVFSWorld(name, 128), nil
+		return newKVFSWorld(name, 128, nil), nil
 	case "localfs":
 		return newLocalWorld(name), nil
 	case "dfs-std":
@@ -105,9 +115,32 @@ func NewWorld(name string) (*World, error) {
 	case "dfs-opt":
 		return newDFSWorld(name, true), nil
 	case "dfs-dpc":
-		return newDFSDPCWorld(name), nil
+		return newDFSDPCWorld(name, nil), nil
 	default:
 		return nil, fmt.Errorf("check: unknown stack %q (have %v)", name, StackNames())
+	}
+}
+
+// FaultStackNames lists the stacks that support fault injection (the dpc
+// data-path stacks; the baselines have no injector hooks).
+func FaultStackNames() []string {
+	return []string{"kvfs-direct", "kvfs-cache", "dfs-dpc"}
+}
+
+// NewFaultWorld instantiates a stack with the deterministic torture fault
+// schedule derived from seed. The same (name, seed) always produces the
+// same injected faults at the same virtual times.
+func NewFaultWorld(name string, seed int64) (*World, error) {
+	rules := fault.TortureSchedule(seed)
+	switch name {
+	case "kvfs-direct":
+		return newKVFSWorld(name, 0, rules), nil
+	case "kvfs-cache":
+		return newKVFSWorld(name, 128, rules), nil
+	case "dfs-dpc":
+		return newDFSDPCWorld(name, rules), nil
+	default:
+		return nil, fmt.Errorf("check: stack %q does not support fault injection (have %v)", name, FaultStackNames())
 	}
 }
 
@@ -129,7 +162,7 @@ func driveLoop(sys *dpc.System, fn func(p *sim.Proc)) {
 
 // ---- dpc/KVFS worlds (direct and hybrid-cache) ----
 
-func newKVFSWorld(name string, cachePages int) *World {
+func newKVFSWorld(name string, cachePages int, faults []fault.Rule) *World {
 	opts := dpc.DefaultOptions()
 	opts.Model.HostMemMB = 192
 	opts.Model.DPUMemMB = 8
@@ -137,6 +170,7 @@ func newKVFSWorld(name string, cachePages int) *World {
 	// A deliberately small cache (128 pages, 16 buckets) keeps eviction and
 	// write-through pressure high during torture runs.
 	opts.CacheBuckets = 16
+	opts.Faults = faults
 	sys := dpc.New(opts)
 	cl := sys.KVFSClient()
 	cached := cachePages > 0
@@ -160,6 +194,9 @@ func newKVFSWorld(name string, cachePages int) *World {
 			return sys.KVFS.Fsck(p, sys.KVCluster).Problems
 		},
 	}
+	if sys.Faults != nil {
+		w.disarm = sys.Faults.Disarm
+	}
 	if cached {
 		w.settle = func(p *sim.Proc) { p.Sleep(5 * time.Millisecond) }
 		w.barrier = func(p *sim.Proc) {
@@ -181,8 +218,8 @@ type legacyFlushBackend struct {
 	kvfs.PageBackend
 }
 
-func (b legacyFlushBackend) WritePage(p *sim.Proc, ino, lpn uint64, pageSize int, data []byte) {
-	_ = b.FS.Write(p, ino, lpn*uint64(pageSize), data)
+func (b legacyFlushBackend) WritePage(p *sim.Proc, ino, lpn uint64, pageSize int, data []byte) error {
+	return b.FS.Write(p, ino, lpn*uint64(pageSize), data)
 }
 
 // applyDPC maps trace ops onto the dpc client API (shared by the KVFS
@@ -422,7 +459,7 @@ func newDFSWorld(name string, optimized bool) *World {
 
 // ---- dpc/DFS world (offloaded client behind the hybrid cache) ----
 
-func newDFSDPCWorld(name string) *World {
+func newDFSDPCWorld(name string, faults []fault.Rule) *World {
 	opts := dpc.DefaultOptions()
 	opts.Model.HostMemMB = 192
 	opts.Model.DPUMemMB = 8
@@ -430,8 +467,13 @@ func newDFSDPCWorld(name string) *World {
 	opts.EnableDFS = true
 	opts.CachePages = 128
 	opts.CacheBuckets = 16
+	opts.Faults = faults
 	sys := dpc.New(opts)
 	cl := sys.DFSClient()
+	var disarm func()
+	if sys.Faults != nil {
+		disarm = sys.Faults.Disarm
+	}
 
 	return &World{
 		name: name,
@@ -442,14 +484,15 @@ func newDFSDPCWorld(name string) *World {
 			Align:    dfs.BlockSize,
 			MaxFile:  64 * 1024,
 		},
-		drive: func(fn func(p *sim.Proc)) { driveLoop(sys, fn) },
-		apply: func(p *sim.Proc, op Op) Result { return applyDPC(p, cl, op) },
+		drive:  func(fn func(p *sim.Proc)) { driveLoop(sys, fn) },
+		apply:  func(p *sim.Proc, op Op) Result { return applyDPC(p, cl, op) },
 		settle: func(p *sim.Proc) { p.Sleep(5 * time.Millisecond) },
 		barrier: func(p *sim.Proc) {
 			if err := cl.Sync(p, 0); err != nil {
 				panic(fmt.Sprintf("check: barrier failed: %v", err))
 			}
 		},
-		close: func() { sys.StopDaemons(); sys.Shutdown() },
+		close:  func() { sys.StopDaemons(); sys.Shutdown() },
+		disarm: disarm,
 	}
 }

@@ -156,15 +156,22 @@ func (d *Dispatcher) handle(p *sim.Proc, req nvmefs.Request) nvmefs.Response {
 		freed := svc.Ctl.ReclaimBucket(p, hdr.Ino, hdr.Off, int(hdr.Len))
 		return nvmefs.Response{Status: nvme.StatusOK, Result: uint32(freed)}
 	case nvme.FileOpFlush:
-		// fsync: flush one inode's dirty pages.
+		// fsync: flush one inode's dirty pages. A backend failure surfaces
+		// as a retryable transient — the pages stayed dirty, so the host's
+		// retried Flush is idempotent.
 		if svc.Ctl != nil {
-			flushed := svc.Ctl.FlushIno(p, hdr.Ino)
+			flushed, err := svc.Ctl.FlushIno(p, hdr.Ino)
+			if err != nil {
+				return nvmefs.Response{Status: nvme.StatusTransient}
+			}
 			return nvmefs.Response{Status: nvme.StatusOK, Result: uint32(flushed)}
 		}
 		return nvmefs.Response{Status: nvme.StatusOK}
 	case nvme.FileOpBarrier:
 		if svc.Ctl != nil {
-			svc.Ctl.FlushPass(p, 1<<30)
+			if _, err := svc.Ctl.FlushPass(p, 1<<30); err != nil {
+				return nvmefs.Response{Status: nvme.StatusTransient}
+			}
 		}
 		return nvmefs.Response{Status: nvme.StatusOK}
 	default:
@@ -179,6 +186,15 @@ func (d *Dispatcher) handleRead(p *sim.Proc, svc *Service, hdr ReqHeader) nvmefs
 	if svc.Ctl != nil && hdr.Flags&FlagFillCache != 0 {
 		ps := svc.Ctl.L.PageSize
 		lpn := hdr.Off / uint64(ps)
+		if svc.Ctl.Degraded() {
+			// Degraded cache: serve the read but bypass the fill — no new
+			// pages enter a cache whose write-back is failing.
+			page, ok := readPage(p, svc, hdr.Ino, lpn, ps)
+			if !ok {
+				return nvmefs.Response{Status: nvme.StatusNotFound}
+			}
+			return nvmefs.Response{Status: nvme.StatusOK, Header: []byte{0}, Data: page}
+		}
 		if hdr.Flags&FlagNoPrefetch == 0 {
 			svc.Ctl.NotifyRead(p, hdr.Ino, lpn)
 		}

@@ -223,16 +223,16 @@ func (b PageBackend) ReadPage(p *sim.Proc, ino, lpn uint64, pageSize int) ([]byt
 // to attr.Size so flushing the tail page of a 10 000-byte file does not
 // grow it to the next page boundary with zero padding. Pages wholly past
 // EOF (truncated or unlinked while cached) are dropped.
-func (b PageBackend) WritePage(p *sim.Proc, ino, lpn uint64, pageSize int, data []byte) {
+func (b PageBackend) WritePage(p *sim.Proc, ino, lpn uint64, pageSize int, data []byte) error {
 	off := lpn * uint64(pageSize)
 	a, ok := b.FS.getAttr(p, ino)
 	if !ok || off >= a.Size {
-		return
+		return nil
 	}
 	if end := off + uint64(len(data)); end > a.Size {
 		data = data[:a.Size-off]
 	}
-	_ = b.FS.Write(p, ino, off, data)
+	return b.FS.Write(p, ino, off, data)
 }
 
 // ReadPageRange implements cache.RangeBackend: the whole run is one KVFS

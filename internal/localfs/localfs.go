@@ -185,7 +185,7 @@ func (fs *FS) charge(p *sim.Proc) func() {
 // suite caught an earlier version writing the commit block over block 0).
 func (fs *FS) journal(p *sim.Proc) {
 	if fs.cfg.JournalWrites {
-		fs.dev.Write(p, (fs.totalBlocks-1)*BlockSize, make([]byte, BlockSize))
+		fs.mustDevWrite(p, (fs.totalBlocks-1)*BlockSize, make([]byte, BlockSize))
 	}
 }
 

@@ -2,11 +2,65 @@ package localfs
 
 import (
 	"encoding/binary"
+	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"dpc/internal/sim"
 )
+
+// devRetries bounds how many times a timed device I/O is retried after a
+// transient (injected) media error before the error is surfaced.
+const devRetries = 4
+
+// devRead is the retrying wrapper around the device's timed read path.
+func (fs *FS) devRead(p *sim.Proc, off int64, n int) ([]byte, error) {
+	var err error
+	for attempt := 0; attempt <= devRetries; attempt++ {
+		if attempt > 0 {
+			p.Sleep(50 * time.Microsecond)
+		}
+		var b []byte
+		if b, err = fs.dev.Read(p, off, n); err == nil {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("localfs: device read [%d,+%d): %w", off, n, err)
+}
+
+// devWrite is the retrying wrapper around the device's timed write path.
+func (fs *FS) devWrite(p *sim.Proc, off int64, data []byte) error {
+	var err error
+	for attempt := 0; attempt <= devRetries; attempt++ {
+		if attempt > 0 {
+			p.Sleep(50 * time.Microsecond)
+		}
+		if err = fs.dev.Write(p, off, data); err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("localfs: device write [%d,+%d): %w", off, len(data), err)
+}
+
+// mustDevRead/mustDevWrite serve the paths with no error plumbing (page
+// write-back, read-ahead, journal commits). Transient faults are absorbed
+// by the bounded retry; a persistent media failure on these paths is fatal
+// by design — local Ext4 would remount read-only here, which is out of
+// scope for the fault schedules the harness generates.
+func (fs *FS) mustDevRead(p *sim.Proc, off int64, n int) []byte {
+	b, err := fs.devRead(p, off, n)
+	if err != nil {
+		panic(err.Error())
+	}
+	return b
+}
+
+func (fs *FS) mustDevWrite(p *sim.Proc, off int64, data []byte) {
+	if err := fs.devWrite(p, off, data); err != nil {
+		panic(err.Error())
+	}
+}
 
 // ---- path and directory operations ----
 //
@@ -321,7 +375,9 @@ func (fs *FS) writeThrough(p *sim.Proc, ino uint64, ind *inode, off uint64, data
 		done += n
 	}
 	for _, e := range extents {
-		fs.dev.Write(p, e.devOff, e.data)
+		if err := fs.devWrite(p, e.devOff, e.data); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -345,7 +401,11 @@ func (fs *FS) writeCached(p *sim.Proc, ino uint64, ind *inode, off uint64, data 
 					return err
 				}
 				if blk != 0 {
-					copy(pageData, fs.dev.Read(p, blk*BlockSize, BlockSize))
+					base, err := fs.devRead(p, blk*BlockSize, BlockSize)
+					if err != nil {
+						return err
+					}
+					copy(pageData, base)
 				}
 			}
 		}
@@ -430,7 +490,11 @@ func (fs *FS) readThrough(p *sim.Proc, ino uint64, ind *inode, off uint64, n int
 		done += k
 	}
 	for _, e := range extents {
-		copy(out[e.outOff:e.outOff+e.length], fs.dev.Read(p, e.devOff, e.length))
+		b, err := fs.devRead(p, e.devOff, e.length)
+		if err != nil {
+			return nil, err
+		}
+		copy(out[e.outOff:e.outOff+e.length], b)
 	}
 	return out, nil
 }
@@ -470,7 +534,7 @@ func (fs *FS) readPageCached(p *sim.Proc, ind *inode, ino uint64, pg int64) []by
 		if len(run) == 0 {
 			return
 		}
-		data := fs.dev.Read(p, runStart*BlockSize, len(run)*BlockSize)
+		data := fs.mustDevRead(p, runStart*BlockSize, len(run)*BlockSize)
 		for i, pgi := range run {
 			pageData := append([]byte(nil), data[i*BlockSize:(i+1)*BlockSize]...)
 			if pgi == pg {
@@ -518,7 +582,7 @@ func (fs *FS) flushPage(p *sim.Proc, pg *cachePage) {
 	if err != nil || blk == 0 {
 		return
 	}
-	fs.dev.Write(p, blk*BlockSize, pg.data)
+	fs.mustDevWrite(p, blk*BlockSize, pg.data)
 }
 
 // Sync writes back every dirty page.

@@ -90,6 +90,11 @@ type SQE struct {
 	DW12      uint32
 	WHLen     uint16
 	RHLen     uint16
+	// Token is a driver-assigned retry token carried in the reserved tail
+	// of the SQE (DW14). Retries of one logical command reuse the token, so
+	// the TGT can deduplicate re-executions and the host can reject stale
+	// completions after a CID has been recycled. 0 means "no token".
+	Token uint32
 }
 
 // Marshal encodes the SQE into a 64-byte buffer.
@@ -116,6 +121,7 @@ func (s *SQE) Marshal(buf []byte) {
 	le.PutUint32(buf[44:], s.ReadLen)
 	le.PutUint32(buf[48:], s.DW12)
 	le.PutUint32(buf[52:], uint32(s.WHLen)|uint32(s.RHLen)<<16)
+	le.PutUint32(buf[56:], s.Token)
 }
 
 // UnmarshalSQE decodes a 64-byte submission entry.
@@ -143,6 +149,7 @@ func UnmarshalSQE(buf []byte) (SQE, error) {
 	dw13 := le.Uint32(buf[52:])
 	s.WHLen = uint16(dw13)
 	s.RHLen = uint16(dw13 >> 16)
+	s.Token = le.Uint32(buf[56:])
 	return s, nil
 }
 
@@ -177,20 +184,37 @@ const (
 	StatusIsDir
 	StatusNotDir
 	StatusIOError
+	StatusTransient // transient device/backend failure; safe to retry
+	StatusTimeout   // host-side deadline expired; command aborted
+	StatusCorrupt   // command image failed validation in flight
+	StatusReset     // command failed by a controller reset
 )
 
 // StatusString renders a status code.
 func StatusString(s uint16) string {
-	names := []string{"OK", "INVALID", "NOT_FOUND", "EXISTS", "NO_SPACE", "NOT_EMPTY", "IS_DIR", "NOT_DIR", "IO_ERROR"}
+	names := []string{"OK", "INVALID", "NOT_FOUND", "EXISTS", "NO_SPACE", "NOT_EMPTY", "IS_DIR", "NOT_DIR", "IO_ERROR",
+		"TRANSIENT", "TIMEOUT", "CORRUPT", "RESET"}
 	if int(s) < len(names) {
 		return names[s]
 	}
 	return fmt.Sprintf("STATUS_%d", s)
 }
 
+// Retryable reports whether a status marks a transient failure the driver
+// may retry without changing the command's semantics (the retry token
+// protocol guarantees at-most-once execution of non-idempotent ops).
+func Retryable(s uint16) bool {
+	switch s {
+	case StatusTransient, StatusTimeout, StatusCorrupt, StatusReset:
+		return true
+	}
+	return false
+}
+
 // CQE is a decoded completion queue entry.
 type CQE struct {
 	Result uint32 // command-specific (e.g. bytes transferred)
+	Token  uint32 // echo of SQE.Token, in the otherwise-reserved DW1
 	SQHead uint16
 	SQID   uint16
 	CID    uint16
@@ -205,7 +229,7 @@ func (c *CQE) Marshal(buf []byte) {
 	}
 	le := binary.LittleEndian
 	le.PutUint32(buf[0:], c.Result)
-	le.PutUint32(buf[4:], 0)
+	le.PutUint32(buf[4:], c.Token)
 	le.PutUint32(buf[8:], uint32(c.SQHead)|uint32(c.SQID)<<16)
 	dw3 := uint32(c.CID)
 	if c.Phase {
@@ -225,6 +249,7 @@ func UnmarshalCQE(buf []byte) (CQE, error) {
 	dw3 := le.Uint32(buf[12:])
 	return CQE{
 		Result: le.Uint32(buf[0:]),
+		Token:  le.Uint32(buf[4:]),
 		SQHead: uint16(dw2),
 		SQID:   uint16(dw2 >> 16),
 		CID:    uint16(dw3),

@@ -15,7 +15,9 @@ package nvmefs
 
 import (
 	"fmt"
+	"time"
 
+	"dpc/internal/fault"
 	"dpc/internal/mem"
 	"dpc/internal/model"
 	"dpc/internal/nvme"
@@ -57,6 +59,16 @@ type Config struct {
 	// default. The window also sets how many SQEs share one doorbell when
 	// the client submits a burst with SubmitBatch.
 	InflightWindow int
+
+	// Failure-handling knobs. Per-command deadlines are armed only when a
+	// fault injector is attached (SetFaults), so fault-free runs schedule
+	// no extra events and stay byte-identical to older builds.
+	CmdTimeout     time.Duration // per-command deadline (default 5ms)
+	MaxRetries     int           // bounded retries of retryable statuses (default 8)
+	RetryBase      time.Duration // first backoff step (default 20µs)
+	RetryMax       time.Duration // backoff cap (default 640µs)
+	ResetThreshold int           // consecutive timeouts that trigger a controller reset (default 8)
+	ResetDelay     time.Duration // modeled cost of a controller reset (default 200µs)
 }
 
 // DefaultConfig suits small-I/O experiments: 32 queues so application
@@ -96,8 +108,9 @@ type pendingCmd struct {
 	done    bool
 	comp    Completion
 	slot    int
-	rhLen   int // response header bytes the submitter asked for
-	readLen int // response payload bytes after the header
+	rhLen   int    // response header bytes the submitter asked for
+	readLen int    // response payload bytes after the header
+	token   uint32 // retry token the SQE carried; completions must echo it
 }
 
 type queueState struct {
@@ -122,6 +135,59 @@ type queueState struct {
 	// unrung counts SQEs enqueued since the last doorbell ring: a burst
 	// submitted with SubmitBatch publishes all of them with one MMIO.
 	unrung int
+
+	// gen is the queue's reset generation. A controller reset bumps it;
+	// TGT work that straddles the reset (SQE fetches, workers mid-handler)
+	// re-checks it and drops its results instead of touching rings or
+	// buffers the reset has re-armed.
+	gen int
+
+	// exec is the executed-response cache keyed by retry token, populated
+	// only on fault runs. A retried command whose first attempt actually
+	// executed (the completion was dropped, corrupted, or late) hits this
+	// cache and gets the original response replayed instead of running the
+	// handler twice — exactly-once effect semantics for non-idempotent
+	// ops. Bounded FIFO; first writer wins (the first execution to finish
+	// is the one whose effect took, so its status is the canonical one).
+	exec      map[uint32]Response
+	execOrder []uint32
+}
+
+// execCap bounds the per-queue executed-response cache.
+const execCapPerDepth = 4
+
+// slotGrace is how long an aborted command's buffer slot is quarantined
+// before returning to the free list. A worker that passed its liveness
+// check just before the abort may still have a data-out DMA in flight;
+// the grace period outlasts any modeled transfer (including injected
+// stalls) so the slot cannot be re-assigned while stale bytes can still
+// land in it.
+const slotGrace = 500 * time.Microsecond
+
+func (qs *queueState) execPut(depth int, token uint32, resp Response) {
+	if token == 0 {
+		return
+	}
+	if qs.exec == nil {
+		qs.exec = map[uint32]Response{}
+	}
+	if _, ok := qs.exec[token]; ok {
+		return
+	}
+	if len(qs.execOrder) >= execCapPerDepth*depth {
+		delete(qs.exec, qs.execOrder[0])
+		qs.execOrder = qs.execOrder[1:]
+	}
+	qs.exec[token] = resp
+	qs.execOrder = append(qs.execOrder, token)
+}
+
+func (qs *queueState) execGet(token uint32) (Response, bool) {
+	if token == 0 || qs.exec == nil {
+		return Response{}, false
+	}
+	r, ok := qs.exec[token]
+	return r, ok
 }
 
 // Driver is the assembled nvme-fs stack: NVME-INI on the host, NVME-TGT
@@ -150,6 +216,37 @@ type Driver struct {
 	// across all queues; inflightPeak is its high-water mark.
 	inflight     int64
 	inflightPeak int64
+
+	// faults is the injector consulted on the TGT and completion paths;
+	// nil (the default) means no injection, no deadlines, no extra events.
+	faults *fault.Injector
+	// nextToken hands out retry tokens; monotonically increasing, never 0.
+	nextToken uint32
+	// consecTimeouts counts command deadlines expired since the last clean
+	// completion; crossing ResetThreshold triggers a controller reset.
+	consecTimeouts int
+	resetting      bool
+
+	// Failure counters. Always maintained (they replace panics that could
+	// fire with injection off too); mirrored into obs only on fault runs so
+	// fault-free metric snapshots keep their exact key set.
+	Timeouts           int64 // per-command deadlines expired
+	Retries            int64 // command resubmissions
+	Resets             int64 // controller resets
+	DroppedCompletions int64 // CQEs lost (injected)
+	UnknownCompletions int64 // CQEs dropped by the host: unknown CID or stale token
+	StaleCompletions   int64 // completions discarded by a reset-generation mismatch
+	CorruptSQEs        int64 // SQE images that failed validation at the TGT
+	HeaderOverflows    int64 // handler responses whose header exceeded RHLen
+	WorkerCrashes      int64 // TGT workers that died before executing (injected)
+	DedupHits          int64 // retried commands answered from the executed-response cache
+
+	oTimeouts *obs.Counter
+	oRetries  *obs.Counter
+	oResets   *obs.Counter
+	oDropped  *obs.Counter
+	oUnknown  *obs.Counter
+	oDedup    *obs.Counter
 }
 
 // NewDriver lays out the queues and buffers and starts one TGT thread per
@@ -160,6 +257,27 @@ func NewDriver(m *model.Machine, cfg Config, handler Handler) *Driver {
 	}
 	if cfg.InflightWindow <= 0 {
 		cfg.InflightWindow = DefaultConfig().InflightWindow
+	}
+	if cfg.CmdTimeout <= 0 {
+		// Must exceed the worst-case legitimate command (Flush/Barrier run
+		// full cache write-back inline); spurious timeouts are correct —
+		// the token protocol dedups the re-execution — but wasted work.
+		cfg.CmdTimeout = 5 * time.Millisecond
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 8
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 20 * time.Microsecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 640 * time.Microsecond
+	}
+	if cfg.ResetThreshold <= 0 {
+		cfg.ResetThreshold = 8
+	}
+	if cfg.ResetDelay <= 0 {
+		cfg.ResetDelay = 200 * time.Microsecond
 	}
 	d := &Driver{m: m, cfg: cfg, handler: handler}
 	if o := m.Obs; o.Enabled() {
@@ -197,6 +315,25 @@ func NewDriver(m *model.Machine, cfg Config, handler Handler) *Driver {
 	return d
 }
 
+// SetFaults attaches a fault injector: the TGT and completion paths start
+// consulting it, and every enqueue arms a per-command deadline event. The
+// failure obs counters are registered here — not at construction — so that
+// fault-free runs export exactly the same metric key set as before.
+func (d *Driver) SetFaults(in *fault.Injector) {
+	d.faults = in
+	if in == nil {
+		return
+	}
+	if o := d.m.Obs; o.Enabled() {
+		d.oTimeouts = o.Counter("nvmefs.driver.timeouts")
+		d.oRetries = o.Counter("nvmefs.driver.retries")
+		d.oResets = o.Counter("nvmefs.driver.resets")
+		d.oDropped = o.Counter("nvmefs.driver.dropped_completions")
+		d.oUnknown = o.Counter("nvmefs.driver.unknown_completions")
+		d.oDedup = o.Counter("nvmefs.driver.dedup_hits")
+	}
+}
+
 // Queues returns the number of queue pairs.
 func (d *Driver) Queues() int { return d.cfg.Queues }
 
@@ -224,6 +361,14 @@ type Pending struct {
 	d   *Driver
 	cid uint16
 	pd  *pendingCmd
+
+	// Retry state: Wait resubmits the original submission — with the same
+	// token, under a fresh CID/slot — when the completion status is
+	// retryable and attempts remain.
+	qid      int
+	sub      Submission
+	token    uint32
+	attempts int
 }
 
 // CID returns the command identifier the SQE carried (tests match
@@ -269,8 +414,19 @@ func (d *Driver) SubmitBatch(p *sim.Proc, qid int, subs []Submission) []*Pending
 }
 
 // enqueue reserves resources, stages buffers and writes the SQE for one
-// command without ringing the doorbell.
+// command without ringing the doorbell. A fresh retry token is assigned.
 func (d *Driver) enqueue(p *sim.Proc, qid int, sub Submission) *Pending {
+	d.nextToken++
+	if d.nextToken == 0 {
+		d.nextToken = 1
+	}
+	return d.enqueueToken(p, qid, sub, d.nextToken)
+}
+
+// enqueueToken is enqueue with an explicit retry token: resubmissions of a
+// timed-out or failed command reuse the original token so the TGT-side
+// executed-response cache can deduplicate re-executions.
+func (d *Driver) enqueueToken(p *sim.Proc, qid int, sub Submission, token uint32) *Pending {
 	costs := d.m.Cfg.Costs
 	qs := d.queues[qid%len(d.queues)]
 	if len(sub.Payload) > d.cfg.MaxIO || sub.ReadLen > d.cfg.MaxIO {
@@ -325,6 +481,7 @@ func (d *Driver) enqueue(p *sim.Proc, qid int, sub Submission) *Pending {
 		DW12:     sub.DW12,
 		WHLen:    uint16(len(sub.Header)),
 		RHLen:    uint16(sub.RHLen),
+		Token:    token,
 	}
 	if writeLen > 0 {
 		sqe.PRPWrite = [2]uint64{uint64(wbuf), uint64(wbuf) + 4096}
@@ -348,10 +505,18 @@ func (d *Driver) enqueue(p *sim.Proc, qid int, sub Submission) *Pending {
 		slot:    slot,
 		rhLen:   sub.RHLen,
 		readLen: sub.ReadLen,
+		token:   token,
 	}
 	qs.pending[cid] = pd
 	if s.Valid() {
 		qs.spanOf[cid] = s
+	}
+
+	// Arm the per-command deadline. Only on fault runs: a fault-free run
+	// schedules no timer events at all, so its event interleaving — and
+	// with it every metric and trace snapshot — is unchanged.
+	if d.faults != nil {
+		d.m.Eng.After(d.cfg.CmdTimeout, func() { d.onDeadline(qs, cid, pd) })
 	}
 
 	d.inflight++
@@ -361,7 +526,38 @@ func (d *Driver) enqueue(p *sim.Proc, qid int, sub Submission) *Pending {
 	}
 	d.oInflight.Set(float64(d.inflight))
 	s.End(p)
-	return &Pending{d: d, cid: cid, pd: pd}
+	return &Pending{d: d, cid: cid, pd: pd, qid: qid, sub: sub, token: token}
+}
+
+// onDeadline aborts a command whose completion did not arrive in time: the
+// pending entry is failed with StatusTimeout, its CID is recycled, and its
+// buffer slot is quarantined for slotGrace before reuse (a straggling
+// worker may still have a data-out DMA in flight aimed at it). The abort
+// wakes both the Wait-ing owner and any submitter parked on queue
+// resources, so a dropped completion can never deadlock the queue.
+func (d *Driver) onDeadline(qs *queueState, cid uint16, pd *pendingCmd) {
+	if pd.done || qs.pending[cid] != pd {
+		return // completed, reset, or CID already recycled
+	}
+	d.Timeouts++
+	d.consecTimeouts++
+	if d.oTimeouts != nil {
+		d.oTimeouts.Inc()
+	}
+	pd.comp = Completion{Status: nvme.StatusTimeout}
+	pd.done = true
+	delete(qs.pending, cid)
+	delete(qs.spanOf, cid)
+	qs.freeCID = append(qs.freeCID, cid)
+	slot := pd.slot
+	d.m.Eng.After(slotGrace, func() {
+		qs.freeSlots = append(qs.freeSlots, slot)
+		qs.slotCond.Signal()
+	})
+	d.inflight--
+	d.oInflight.Set(float64(d.inflight))
+	qs.slotCond.Signal()
+	pd.cond.Signal()
 }
 
 // ring publishes the SQ tail with one MMIO doorbell and kicks the queue's
@@ -382,17 +578,102 @@ func (d *Driver) ring(p *sim.Proc, qs *queueState) {
 // Wait parks until the command completes and returns its decoded
 // completion. The response bytes were already pulled out of the slot buffer
 // by the completion interrupt; Wait charges the host-side reap cost.
+//
+// Wait is also the retry engine: a retryable completion status (timeout,
+// transient, corrupt, reset) is resubmitted — same token, fresh CID/slot —
+// after exponential backoff, up to Config.MaxRetries attempts. A run of
+// consecutive timeouts past Config.ResetThreshold triggers a controller
+// reset first, on the theory that the controller (not the command) is
+// stuck.
 func (pend *Pending) Wait(p *sim.Proc) Completion {
 	d := pend.d
 	s := d.o.Begin(p, "nvmefs.wait")
-	for !pend.pd.done {
-		pend.pd.cond.Wait(p)
+	for {
+		for !pend.pd.done {
+			pend.pd.cond.Wait(p)
+		}
+		comp := pend.pd.comp
+		if !nvme.Retryable(comp.Status) || pend.attempts >= d.cfg.MaxRetries {
+			d.m.HostExec(p, d.m.Cfg.Costs.HostComplete)
+			d.Completed++
+			d.oCompleted.Inc()
+			s.End(p)
+			return comp
+		}
+		pend.attempts++
+		d.Retries++
+		if d.oRetries != nil {
+			d.oRetries.Inc()
+		}
+		if comp.Status == nvme.StatusTimeout && d.consecTimeouts >= d.cfg.ResetThreshold {
+			d.reset(p)
+		}
+		backoff := d.cfg.RetryBase << (pend.attempts - 1)
+		if backoff > d.cfg.RetryMax || backoff <= 0 {
+			backoff = d.cfg.RetryMax
+		}
+		p.Sleep(backoff)
+		np := d.enqueueToken(p, pend.qid, pend.sub, pend.token)
+		pend.cid, pend.pd = np.cid, np.pd
+		d.ring(p, d.queues[pend.qid%len(d.queues)])
 	}
-	d.m.HostExec(p, d.m.Cfg.Costs.HostComplete)
-	d.Completed++
-	d.oCompleted.Inc()
-	s.End(p)
-	return pend.pd.comp
+}
+
+// reset performs a controller reset: every queue's rings and doorbell are
+// re-armed from index zero and every in-flight command is failed with
+// StatusReset — a retryable status, so Wait-side owners resubmit them
+// (bounded by MaxRetries) once the reset completes. Work that straddles
+// the reset (a TGT mid-fetch, a worker mid-handler) is fenced off by the
+// per-queue generation counter; the executed-response cache survives so
+// resubmissions of commands that did execute still deduplicate.
+func (d *Driver) reset(p *sim.Proc) {
+	if d.resetting {
+		return
+	}
+	d.resetting = true
+	d.Resets++
+	if d.oResets != nil {
+		d.oResets.Inc()
+	}
+	rs := d.o.Begin(p, "nvmefs.reset")
+	p.Sleep(d.cfg.ResetDelay)
+	for _, qs := range d.queues {
+		qs.gen++
+		// Fail in-flight commands in CID order (deterministic iteration).
+		for c := 0; c < d.cfg.Depth; c++ {
+			cid := uint16(c)
+			pd := qs.pending[cid]
+			if pd == nil {
+				continue
+			}
+			pd.comp = Completion{Status: nvme.StatusReset}
+			pd.done = true
+			delete(qs.pending, cid)
+			delete(qs.spanOf, cid)
+			qs.freeCID = append(qs.freeCID, cid)
+			slot := pd.slot
+			d.m.Eng.After(slotGrace, func() {
+				qs.freeSlots = append(qs.freeSlots, slot)
+				qs.slotCond.Signal()
+			})
+			d.inflight--
+			pd.cond.Signal()
+		}
+		d.oInflight.Set(float64(d.inflight))
+		// Re-arm the rings. Only pending-held CIDs/slots were released
+		// above: submitters parked mid-enqueue still own theirs and resume
+		// against the fresh indices when the conds broadcast.
+		qs.qp.SQTail, qs.qp.SQHead = 0, 0
+		qs.qp.CQHead, qs.qp.CQTail = 0, 0
+		qs.qp.CQPhase, qs.qp.CQPhaseDev = true, true
+		qs.unrung = 0
+		d.m.PCIe.MMIOWrite32(p, d.m.DPUMem, qs.doorbell, 0, "sq-doorbell-reset")
+		qs.slotCond.Broadcast()
+		qs.sqCond.Broadcast()
+	}
+	d.consecTimeouts = 0
+	d.resetting = false
+	rs.End(p)
 }
 
 // tgtLoop is one NVME-TGT thread: it consumes SQEs for a single queue.
@@ -420,6 +701,13 @@ func (d *Driver) processOne(p *sim.Proc, qs *queueState) {
 	costs := d.m.Cfg.Costs
 	link := d.m.PCIe
 	hm := d.m.HostMem
+	gen := qs.gen
+
+	// A controller freeze (possibly fired on another queue — it is
+	// controller-wide) stalls this TGT thread until the thaw instant.
+	if until := d.faults.FrozenUntil(); until > p.Now() {
+		p.SleepUntil(until)
+	}
 
 	// The TGT span opens before the SQE fetch (the fetch itself is part of
 	// the TGT's work) and is linked under the submitter's span once the CID
@@ -429,19 +717,76 @@ func (d *Driver) processOne(p *sim.Proc, qs *queueState) {
 	// ① Retrieve the SQE.
 	sqeAddr := qs.qp.SQ.EntryAddr(qs.qp.SQHead)
 	sqeBytes := link.DMARead(p, hm, sqeAddr, nvme.SQESize, "sqe")
+	if qs.gen != gen {
+		// A reset re-armed the ring while the fetch was in flight: the
+		// bytes belong to the old generation. Drop them without touching
+		// the (already re-zeroed) head index.
+		ts.End(p)
+		return
+	}
 	qs.qp.SQHead = qs.qp.SQ.Next(qs.qp.SQHead)
 	// Consuming the SQE frees a ring slot: a submitter blocked on SQFull
 	// may enqueue (and batch) its next command while this one executes.
 	qs.sqCond.Signal()
+
+	corrupted := false
+	if kind, delay, ok := d.faults.At(fault.SiteTGT); ok {
+		switch kind {
+		case fault.KindCorruptSQE:
+			// Flip the opcode byte: the entry parses but fails validation,
+			// so the host gets a retryable StatusCorrupt. The CID and token
+			// bytes are untouched — a corruption that mangles those is the
+			// unknown-CID path exercised by KindCorruptCQE instead.
+			sqeBytes[0] ^= 0xFF
+			corrupted = true
+		case fault.KindWorkerCrash:
+			// The command was consumed but never parsed or executed; the
+			// host's deadline will notice and retry (no dedup entry exists,
+			// so the retry executes fresh).
+			d.WorkerCrashes++
+			ts.End(p)
+			return
+		case fault.KindFreeze:
+			// FrozenUntil was set by At; the stall starts here and every
+			// other queue picks it up at its next fetch.
+			p.Sleep(delay)
+		}
+	}
+
 	sqe, err := nvme.UnmarshalSQE(sqeBytes)
 	if err != nil {
-		panic("nvmefs: corrupt SQE: " + err.Error())
+		// The entry is unparseable: no trustworthy CID to complete. Count
+		// it and drop; the submitter's deadline turns this into a retry.
+		d.CorruptSQEs++
+		ts.End(p)
+		return
 	}
 	ts.SetParent(qs.spanOf[sqe.CID])
 	d.m.DPUExec(p, costs.DPUCmdParse)
 
 	if err := sqe.Validate(); err != nil {
-		d.complete(p, qs, sqe, Response{Status: nvme.StatusInvalid})
+		status := nvme.StatusInvalid
+		if corrupted {
+			// In-flight corruption, not a malformed submission: report a
+			// retryable status so the (intact) original gets resubmitted.
+			d.CorruptSQEs++
+			status = nvme.StatusCorrupt
+		}
+		d.complete(p, qs, gen, sqe, Response{Status: status})
+		ts.End(p)
+		return
+	}
+	// The command must still be live before its buffers are read: an
+	// injected stall between the SQE fetch and here (a freeze outlasts the
+	// command deadline) means the abort path may have recycled the slot the
+	// PRPs point at — executing with another command's bytes, and worse,
+	// caching that response under this token, would corrupt the retry.
+	// Dropping is safe: the deadline already turned this into a retry.
+	if qs.gen != gen {
+		ts.End(p)
+		return
+	}
+	if pd := qs.pending[sqe.CID]; pd == nil || pd.done || pd.token != sqe.Token {
 		ts.End(p)
 		return
 	}
@@ -459,22 +804,56 @@ func (d *Driver) processOne(p *sim.Proc, qs *queueState) {
 	}
 	d.m.Eng.Go("nvme-worker", func(wp *sim.Proc) {
 		ws := d.o.BeginChild(wp, ts, "nvmefs.worker")
-		resp := d.handler(wp, req)
-		// Write back the response header + data, one contiguous DMA.
+		var resp Response
+		if cached, ok := qs.execGet(sqe.Token); ok {
+			// This token already executed (a retry of a command whose
+			// completion was lost): replay the recorded response instead of
+			// running the handler a second time.
+			d.DedupHits++
+			if d.oDedup != nil {
+				d.oDedup.Inc()
+			}
+			resp = cached
+		} else {
+			resp = d.handler(wp, req)
+			// Record the response for retry dedup — except retryable
+			// statuses: those mean the op did NOT take effect, so a retry
+			// must re-execute it rather than replay the failure forever.
+			if d.faults != nil && !nvme.Retryable(resp.Status) {
+				qs.execPut(d.cfg.Depth, sqe.Token, resp)
+			}
+		}
+		// Write back the response header + data, one contiguous DMA — but
+		// only while the command is still live: if its deadline expired or
+		// a reset failed it, the slot the PRP points at may already belong
+		// to another command, and writing into it would corrupt that
+		// command's response. (The abort path quarantines slots for
+		// slotGrace, which outlasts any transfer that passed this check.)
+		live := func() bool {
+			if qs.gen != gen {
+				return false
+			}
+			pd := qs.pending[sqe.CID]
+			return pd != nil && pd.token == sqe.Token
+		}
 		if sqe.ReadLen > 0 && resp.Status == nvme.StatusOK && (len(resp.Header) > 0 || len(resp.Data) > 0) {
 			if len(resp.Header) > int(sqe.RHLen) {
-				panic(fmt.Sprintf("nvmefs: handler header %d > RHLen %d", len(resp.Header), sqe.RHLen))
+				// A handler bug, not a transport fault: fail the command
+				// cleanly instead of crashing the TGT.
+				d.HeaderOverflows++
+				resp = Response{Status: nvme.StatusIOError}
+			} else if live() {
+				out := make([]byte, d.cfg.RHCap+len(resp.Data))
+				copy(out, resp.Header)
+				copy(out[d.cfg.RHCap:], resp.Data)
+				if len(out) > int(sqe.ReadLen) {
+					out = out[:sqe.ReadLen]
+				}
+				link.DMAWrite(wp, hm, mem.Addr(sqe.PRPRead[0]), out, "data-out")
+				resp.Result = uint32(len(resp.Data))
 			}
-			out := make([]byte, d.cfg.RHCap+len(resp.Data))
-			copy(out, resp.Header)
-			copy(out[d.cfg.RHCap:], resp.Data)
-			if len(out) > int(sqe.ReadLen) {
-				out = out[:sqe.ReadLen]
-			}
-			link.DMAWrite(wp, hm, mem.Addr(sqe.PRPRead[0]), out, "data-out")
-			resp.Result = uint32(len(resp.Data))
 		}
-		d.complete(wp, qs, sqe, resp)
+		d.complete(wp, qs, gen, sqe, resp)
 		ws.End(wp)
 	})
 	ts.End(p)
@@ -484,14 +863,45 @@ func (d *Driver) processOne(p *sim.Proc, qs *queueState) {
 // handler decodes the response out of the slot buffer and recycles the
 // slot and CID immediately — before anyone calls Wait — so a submitter
 // parked on slot exhaustion with a deep in-flight window always drains.
-func (d *Driver) complete(p *sim.Proc, qs *queueState, sqe nvme.SQE, resp Response) {
+//
+// gen is the queue generation the command was fetched under: a completion
+// that straddles a controller reset is discarded (its command was already
+// failed with StatusReset and its ring position no longer exists). The
+// host-side IRQ validates CID and token against the live pending table —
+// an unknown CID or a stale token is a counted drop, never a panic: with
+// deadlines and CID recycling, late completions for aborted commands are
+// an expected part of the protocol.
+func (d *Driver) complete(p *sim.Proc, qs *queueState, gen int, sqe nvme.SQE, resp Response) {
+	if qs.gen != gen {
+		d.StaleCompletions++
+		return
+	}
 	cqe := nvme.CQE{
 		Result: resp.Result,
+		Token:  sqe.Token,
 		SQHead: uint16(qs.qp.SQHead),
 		SQID:   uint16(qs.qp.ID),
 		CID:    sqe.CID,
 		Phase:  qs.qp.CQPhaseDev,
 		Status: resp.Status,
+	}
+	if kind, _, ok := d.faults.At(fault.SiteComplete); ok {
+		switch kind {
+		case fault.KindDropCompletion:
+			// The CQE is lost on the wire: the host's deadline fires, the
+			// command is retried, and the retry hits the executed-response
+			// cache (the handler DID run).
+			d.DroppedCompletions++
+			if d.oDropped != nil {
+				d.oDropped.Inc()
+			}
+			return
+		case fault.KindCorruptCQE:
+			// Mangle the CID to one that can never be allocated (>= Depth)
+			// and scramble the token: the host must reject it cleanly.
+			cqe.CID |= 0x8000
+			cqe.Token ^= 0xDEAD6077
+		}
 	}
 	var cqeBytes [nvme.CQESize]byte
 	cqe.Marshal(cqeBytes[:])
@@ -502,12 +912,19 @@ func (d *Driver) complete(p *sim.Proc, qs *queueState, sqe nvme.SQE, resp Respon
 	}
 	d.m.PCIe.DMAWrite(p, d.m.HostMem, cqAddr, cqeBytes[:], "cqe")
 
-	pd := qs.pending[sqe.CID]
-	if pd == nil {
-		panic(fmt.Sprintf("nvmefs: completion for unknown CID %d", sqe.CID))
-	}
-	cid := sqe.CID
 	d.m.Eng.After(d.m.Cfg.Costs.HostIRQDelay, func() {
+		pd := qs.pending[cqe.CID]
+		if pd == nil || pd.done || pd.token != cqe.Token {
+			// Unknown CID, recycled CID (token mismatch), or a command
+			// already aborted: drop the completion. The slot is NOT
+			// recycled here — the abort path owns it.
+			d.UnknownCompletions++
+			if d.oUnknown != nil {
+				d.oUnknown.Inc()
+			}
+			return
+		}
+		d.consecTimeouts = 0
 		comp := Completion{Status: cqe.Status, Result: cqe.Result}
 		if (pd.rhLen > 0 || pd.readLen > 0) && cqe.Status == nvme.StatusOK {
 			_, rbuf := qs.slotBufs(pd.slot)
@@ -524,10 +941,10 @@ func (d *Driver) complete(p *sim.Proc, qs *queueState, sqe nvme.SQE, resp Respon
 		}
 		pd.comp = comp
 		pd.done = true
-		delete(qs.pending, cid)
-		delete(qs.spanOf, cid)
+		delete(qs.pending, cqe.CID)
+		delete(qs.spanOf, cqe.CID)
 		qs.freeSlots = append(qs.freeSlots, pd.slot)
-		qs.freeCID = append(qs.freeCID, cid)
+		qs.freeCID = append(qs.freeCID, cqe.CID)
 		d.inflight--
 		d.oInflight.Set(float64(d.inflight))
 		qs.slotCond.Signal()

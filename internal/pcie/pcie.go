@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"dpc/internal/fault"
 	"dpc/internal/mem"
 	"dpc/internal/sim"
 	"dpc/internal/stats"
@@ -111,6 +112,11 @@ type Link struct {
 	DMABytesD2H stats.Counter
 	MMIOs       stats.Counter
 	Atomics     stats.Counter
+	// Stalls counts injected DMA latency spikes (fault runs only).
+	Stalls stats.Counter
+
+	// faults is consulted on every DMA; nil means no injection.
+	faults *fault.Injector
 
 	// subs receives every PCIe operation, in subscription order. Multiple
 	// consumers coexist: cmd/dpctrace's printer and the obs metrics bridge
@@ -175,9 +181,20 @@ func (l *Link) payloadTime(n int) time.Duration {
 	return time.Duration(int64(n) * int64(time.Second) / l.cfg.BandwidthBps)
 }
 
+// SetFaults attaches a fault injector to the DMA path.
+func (l *Link) SetFaults(in *fault.Injector) { l.faults = in }
+
 // dma charges one DMA of n bytes in direction dir and emits trace/counters.
+// An injected KindPCIeStall holds the transfer for the rule's extra delay
+// while it occupies a DMA engine — modeling replay/retrain hiccups that
+// slow a transfer without corrupting it.
 func (l *Link) dma(p *sim.Proc, dir Dir, addr mem.Addr, n int, label string) {
+	kind, delay, injected := l.faults.At(fault.SitePCIeDMA)
 	l.engines.Acquire(p, 1)
+	if injected && kind == fault.KindPCIeStall {
+		l.Stalls.Inc()
+		p.Sleep(delay)
+	}
 	p.Sleep(l.cfg.DMASetup)
 	l.pipe.Acquire(p, 1)
 	p.Sleep(l.payloadTime(n))

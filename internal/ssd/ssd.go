@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"dpc/internal/fault"
 	"dpc/internal/obs"
 	"dpc/internal/sim"
 	"dpc/internal/stats"
@@ -56,6 +57,14 @@ type Device struct {
 	Writes     stats.Counter
 	BytesRead  stats.Counter
 	BytesWrite stats.Counter
+	// ReadErrs/WriteErrs count injected media errors; Stalls counts
+	// injected latency spikes. Maintained only on fault runs.
+	ReadErrs  stats.Counter
+	WriteErrs stats.Counter
+	Stalls    stats.Counter
+
+	// faults is consulted on every timed I/O; nil means no injection.
+	faults *fault.Injector
 
 	// obs mirrors, cached at AttachObs; nil no-op sinks when disabled.
 	o           *obs.Obs
@@ -77,6 +86,9 @@ func (d *Device) AttachObs(o *obs.Obs) {
 	d.oBytesRead = o.Counter("ssd.dev.bytes_read")
 	d.oBytesWrite = o.Counter("ssd.dev.bytes_written")
 }
+
+// SetFaults attaches a fault injector to the timed I/O paths.
+func (d *Device) SetFaults(in *fault.Injector) { d.faults = in }
 
 // New creates a device.
 func New(eng *sim.Engine, cfg Config) *Device {
@@ -102,10 +114,13 @@ func (d *Device) checkRange(off int64, n int) {
 	}
 }
 
-// Read performs a timed read of n bytes at byte offset off.
-func (d *Device) Read(p *sim.Proc, off int64, n int) []byte {
+// Read performs a timed read of n bytes at byte offset off. An injected
+// transient media error is charged the full I/O time and then fails; an
+// injected stall adds the rule's delay on top of the modeled latency.
+func (d *Device) Read(p *sim.Proc, off int64, n int) ([]byte, error) {
 	d.checkRange(off, n)
 	s := d.o.Begin(p, "ssd.read")
+	kind, delay, injected := d.faults.At(fault.SiteSSDRead)
 	d.channels.Acquire(p, 1)
 	p.Sleep(d.cfg.ReadLatency)
 	d.readBus.Acquire(p, 1)
@@ -116,14 +131,27 @@ func (d *Device) Read(p *sim.Proc, off int64, n int) []byte {
 	d.BytesRead.Add(int64(n))
 	d.oReads.Inc()
 	d.oBytesRead.Add(int64(n))
+	if injected {
+		switch kind {
+		case fault.KindSSDReadErr:
+			d.ReadErrs.Inc()
+			s.End(p)
+			return nil, fault.Errf(kind, "ssd read [%d,+%d)", off, n)
+		case fault.KindSSDStall:
+			d.Stalls.Inc()
+			p.Sleep(delay)
+		}
+	}
 	s.End(p)
-	return d.ReadRaw(off, n)
+	return d.ReadRaw(off, n), nil
 }
 
-// Write performs a timed write of data at byte offset off.
-func (d *Device) Write(p *sim.Proc, off int64, data []byte) {
+// Write performs a timed write of data at byte offset off. Fault semantics
+// mirror Read; a failed write leaves the stored bytes untouched.
+func (d *Device) Write(p *sim.Proc, off int64, data []byte) error {
 	d.checkRange(off, len(data))
 	s := d.o.Begin(p, "ssd.write")
+	kind, delay, injected := d.faults.At(fault.SiteSSDWrite)
 	d.channels.Acquire(p, 1)
 	p.Sleep(d.cfg.WriteLatency)
 	d.writeBus.Acquire(p, 1)
@@ -134,8 +162,20 @@ func (d *Device) Write(p *sim.Proc, off int64, data []byte) {
 	d.BytesWrite.Add(int64(len(data)))
 	d.oWrites.Inc()
 	d.oBytesWrite.Add(int64(len(data)))
+	if injected {
+		switch kind {
+		case fault.KindSSDWriteErr:
+			d.WriteErrs.Inc()
+			s.End(p)
+			return fault.Errf(kind, "ssd write [%d,+%d)", off, len(data))
+		case fault.KindSSDStall:
+			d.Stalls.Inc()
+			p.Sleep(delay)
+		}
+	}
 	s.End(p)
 	d.WriteRaw(off, data)
+	return nil
 }
 
 // ReadRaw reads stored bytes without charging time (used for verification

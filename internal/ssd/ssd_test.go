@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"dpc/internal/fault"
 	"dpc/internal/sim"
 )
 
@@ -24,8 +25,13 @@ func TestDataRoundTrip(t *testing.T) {
 	d := New(e, testCfg())
 	payload := []byte("the quick brown fox")
 	e.Go("io", func(p *sim.Proc) {
-		d.Write(p, 10_000, payload)
-		got := d.Read(p, 10_000, len(payload))
+		if err := d.Write(p, 10_000, payload); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		got, err := d.Read(p, 10_000, len(payload))
+		if err != nil {
+			t.Errorf("read: %v", err)
+		}
 		if !bytes.Equal(got, payload) {
 			t.Errorf("round trip = %q", got)
 		}
@@ -111,4 +117,53 @@ func TestOutOfRangePanics(t *testing.T) {
 		}
 	}()
 	d.WriteRaw(int64(testCfg().CapacityMB)*1024*1024, []byte{1})
+}
+
+func TestInjectedReadErrorAndStall(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := New(e, testCfg())
+	d.SetFaults(fault.New(e, []fault.Rule{
+		{Site: fault.SiteSSDRead, Kind: fault.KindSSDReadErr, FromOp: 1, Count: 1},
+		{Site: fault.SiteSSDWrite, Kind: fault.KindSSDStall, FromOp: 1, Count: 1, Delay: 300 * time.Microsecond},
+	}))
+	e.Go("io", func(p *sim.Proc) {
+		start := p.Now()
+		if err := d.Write(p, 0, make([]byte, 4096)); err != nil {
+			t.Errorf("stalled write should still succeed: %v", err)
+		}
+		// Write: 14µs media + ~2µs xfer + 300µs injected stall.
+		if took := p.Now() - start; took < sim.Time(300*time.Microsecond) {
+			t.Errorf("stall not charged: write took %v", took)
+		}
+		if _, err := d.Read(p, 0, 4096); err == nil {
+			t.Error("injected read error not surfaced")
+		}
+		// The injection budget is spent: the retry succeeds.
+		if _, err := d.Read(p, 0, 4096); err != nil {
+			t.Errorf("read after budget spent: %v", err)
+		}
+	})
+	e.Run()
+	if d.ReadErrs.Total() != 1 || d.Stalls.Total() != 1 {
+		t.Fatalf("read_errs=%d stalls=%d, want 1/1", d.ReadErrs.Total(), d.Stalls.Total())
+	}
+}
+
+func TestFailedWriteLeavesBytesUntouched(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := New(e, testCfg())
+	e.Go("seed", func(p *sim.Proc) { d.Write(p, 0, []byte("original")) })
+	e.Run()
+	d.SetFaults(fault.New(e, []fault.Rule{
+		{Site: fault.SiteSSDWrite, Kind: fault.KindSSDWriteErr, FromOp: 1, Count: 1},
+	}))
+	e.Go("clobber", func(p *sim.Proc) {
+		if err := d.Write(p, 0, []byte("clobbered")); err == nil {
+			t.Error("injected write error not surfaced")
+		}
+	})
+	e.Run()
+	if got := string(d.ReadRaw(0, 8)); got != "original" {
+		t.Fatalf("failed write mutated device: %q", got)
+	}
 }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race torture check check-faults bench-json
+.PHONY: build test vet race torture check check-faults bench-json bench-compare
 
 build:
 	$(GO) build ./...
@@ -33,5 +33,13 @@ check-faults:
 # plus the serial-vs-pipelined large-I/O comparison (the perf trajectory).
 bench-json:
 	$(GO) run ./cmd/dpcbench -metrics-out BENCH_metrics.json -trace-out BENCH_trace.json -largeio-out BENCH_3.json
+	$(GO) run ./cmd/dpcbench -bench-out BENCH_5.json
 
-check: vet test race torture
+# Regression gate: re-run the large-I/O scenario and diff every metric
+# against the committed baseline — structural counts (ops, bytes, doorbells,
+# DMAs) must match exactly, times and throughput within 5%. Exits non-zero
+# on drift, so perf regressions fail `make check` instead of landing.
+bench-compare:
+	$(GO) run ./cmd/dpcbench -baseline BENCH_3.json -compare
+
+check: vet test race torture bench-compare

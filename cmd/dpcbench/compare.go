@@ -1,0 +1,155 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Regression gate: `dpcbench -baseline BENCH_3.json -compare` re-runs the
+// large-I/O scenario and checks every metric in the baseline file against
+// the fresh run. Count-like metrics (ops, bytes, MMIOs, window sizes) must
+// match exactly — the simulation is deterministic, so any drift there is a
+// behavior change. Timing-derived metrics (elapsed, throughput, speedup)
+// get a small relative tolerance so intentional latency-model tweaks can be
+// rebaselined deliberately rather than tripping on noise-free but
+// cascading third-decimal shifts.
+
+// exactKeys are metric-name suffixes compared exactly.
+var exactKeys = []string{"window", "ops", "bytes", "op_bytes", "mmios", "dmas", "spans", "anomalies"}
+
+// relTolerance is the allowed relative drift for timing-derived metrics.
+const relTolerance = 0.05
+
+func keyTolerance(key string) float64 {
+	last := key
+	if i := strings.LastIndexByte(key, '.'); i >= 0 {
+		last = key[i+1:]
+	}
+	for _, k := range exactKeys {
+		if last == k {
+			return 0
+		}
+	}
+	return relTolerance
+}
+
+// flatten walks a decoded JSON document into dotted leaf keys. Arrays index
+// numerically, so baseline files with nested tables still flatten to
+// comparable scalars.
+func flatten(prefix string, v any, out map[string]any) {
+	switch x := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flatten(p, x[k], out)
+		}
+	case []any:
+		for i, e := range x {
+			flatten(fmt.Sprintf("%s.%d", prefix, i), e, out)
+		}
+	default:
+		out[prefix] = v
+	}
+}
+
+// compareReports checks every baseline leaf against the current document
+// and returns one line per violation. Keys present only in the current run
+// are ignored: a newer dpcbench may emit more than an old baseline records.
+func compareReports(baseline, current map[string]any) []string {
+	keys := make([]string, 0, len(baseline))
+	for k := range baseline {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var bad []string
+	for _, k := range keys {
+		bv := baseline[k]
+		cv, ok := current[k]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: missing from current run (baseline %v)", k, bv))
+			continue
+		}
+		bn, bIsNum := bv.(float64)
+		cn, cIsNum := cv.(float64)
+		if !bIsNum || !cIsNum {
+			if bv != cv {
+				bad = append(bad, fmt.Sprintf("%s: %v != baseline %v", k, cv, bv))
+			}
+			continue
+		}
+		tol := keyTolerance(k)
+		if tol == 0 {
+			if bn != cn {
+				bad = append(bad, fmt.Sprintf("%s: %v != baseline %v (exact)", k, cn, bn))
+			}
+			continue
+		}
+		denom := math.Abs(bn)
+		if denom == 0 {
+			if cn != 0 {
+				bad = append(bad, fmt.Sprintf("%s: %v != baseline 0", k, cn))
+			}
+			continue
+		}
+		if drift := math.Abs(cn-bn) / denom; drift > tol {
+			bad = append(bad, fmt.Sprintf("%s: %v vs baseline %v (drift %.2f%% > %.0f%%)",
+				k, cn, bn, drift*100, tol*100))
+		}
+	}
+	return bad
+}
+
+// runCompare loads the baseline, re-runs the large-I/O scenario, and
+// reports drift. A non-nil error means the gate failed.
+func runCompare(baselinePath string) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var baseDoc any
+	if err := json.Unmarshal(raw, &baseDoc); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", baselinePath, err)
+	}
+
+	report := buildLargeIOReport()
+	curRaw, err := json.Marshal(report)
+	if err != nil {
+		return err
+	}
+	var curDoc any
+	if err := json.Unmarshal(curRaw, &curDoc); err != nil {
+		return err
+	}
+
+	baseline, current := map[string]any{}, map[string]any{}
+	flatten("", baseDoc, baseline)
+	flatten("", curDoc, current)
+	// The baseline may be a BENCH_5-style file carrying an attribution
+	// block; the compare gate covers the perf metrics, which re-run here.
+	for k := range baseline {
+		if strings.HasPrefix(k, "attribution.") {
+			delete(baseline, k)
+		}
+	}
+
+	if bad := compareReports(baseline, current); len(bad) > 0 {
+		for _, line := range bad {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", line)
+		}
+		return fmt.Errorf("%d metrics drifted past tolerance vs %s", len(bad), baselinePath)
+	}
+	fmt.Printf("bench compare OK: %d metrics within tolerance of %s\n", len(baseline), baselinePath)
+	return nil
+}

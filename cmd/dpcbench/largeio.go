@@ -19,36 +19,7 @@ import (
 // MMIO-per-op drop and the simulated-throughput gain, and is byte-stable
 // across runs so it can be committed as a perf-trajectory point.
 func runLargeIOScenario(outPath string) error {
-	const (
-		opSize = 1 << 20
-		ops    = 32
-	)
-	serial := largeIORun(1, opSize, ops)
-	pipelined := largeIORun(0, opSize, ops)
-
-	report := struct {
-		Workload  string        `json:"workload"`
-		OpBytes   int           `json:"op_bytes"`
-		Serial    largeIOResult `json:"serial"`
-		Pipelined largeIOResult `json:"pipelined"`
-		// DoorbellDrop is serial MMIOs-per-op over pipelined MMIOs-per-op
-		// (the acceptance bar is >= 4x); Speedup compares simulated
-		// read-phase wall time.
-		DoorbellDrop float64 `json:"doorbell_drop"`
-		Speedup      float64 `json:"speedup"`
-	}{
-		Workload:  "sequential-direct-read",
-		OpBytes:   opSize,
-		Serial:    serial,
-		Pipelined: pipelined,
-	}
-	if pipelined.MMIOsPerOp > 0 {
-		report.DoorbellDrop = serial.MMIOsPerOp / pipelined.MMIOsPerOp
-	}
-	if pipelined.ElapsedNS > 0 {
-		report.Speedup = float64(serial.ElapsedNS) / float64(pipelined.ElapsedNS)
-	}
-
+	report := buildLargeIOReport()
 	b, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -58,9 +29,43 @@ func runLargeIOScenario(outPath string) error {
 		return err
 	}
 	fmt.Printf("wrote large-I/O report to %s (doorbells/op %.1f -> %.1f, %.1fx drop; throughput %.0f -> %.0f MiB/s, %.2fx)\n",
-		outPath, serial.MMIOsPerOp, pipelined.MMIOsPerOp, report.DoorbellDrop,
-		serial.ThroughputMiBs, pipelined.ThroughputMiBs, report.Speedup)
+		outPath, report.Serial.MMIOsPerOp, report.Pipelined.MMIOsPerOp, report.DoorbellDrop,
+		report.Serial.ThroughputMiBs, report.Pipelined.ThroughputMiBs, report.Speedup)
 	return nil
+}
+
+// largeIOReport is the BENCH_3-shaped comparison; -compare gates current
+// runs against a committed copy of it.
+type largeIOReport struct {
+	Workload  string        `json:"workload"`
+	OpBytes   int           `json:"op_bytes"`
+	Serial    largeIOResult `json:"serial"`
+	Pipelined largeIOResult `json:"pipelined"`
+	// DoorbellDrop is serial MMIOs-per-op over pipelined MMIOs-per-op
+	// (the acceptance bar is >= 4x); Speedup compares simulated
+	// read-phase wall time.
+	DoorbellDrop float64 `json:"doorbell_drop"`
+	Speedup      float64 `json:"speedup"`
+}
+
+func buildLargeIOReport() largeIOReport {
+	const (
+		opSize = 1 << 20
+		ops    = 32
+	)
+	report := largeIOReport{
+		Workload:  "sequential-direct-read",
+		OpBytes:   opSize,
+		Serial:    largeIORun(1, opSize, ops),
+		Pipelined: largeIORun(0, opSize, ops),
+	}
+	if report.Pipelined.MMIOsPerOp > 0 {
+		report.DoorbellDrop = report.Serial.MMIOsPerOp / report.Pipelined.MMIOsPerOp
+	}
+	if report.Pipelined.ElapsedNS > 0 {
+		report.Speedup = float64(report.Serial.ElapsedNS) / float64(report.Pipelined.ElapsedNS)
+	}
+	return report
 }
 
 type largeIOResult struct {

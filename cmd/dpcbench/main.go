@@ -15,6 +15,18 @@
 //	                         # run the sequential large-I/O workload, serial
 //	                         # vs pipelined submission, and write the
 //	                         # doorbell/throughput comparison as JSON
+//	dpcbench -prof-out p.json [-folded-out f.txt]
+//	                         # run the reference workload under the
+//	                         # critical-path profiler, print attribution
+//	                         # tables and write the JSON report (and
+//	                         # optionally collapsed stacks for flamegraphs)
+//	dpcbench -baseline BENCH_3.json -compare
+//	                         # regression gate: re-run the large-I/O
+//	                         # scenario and exit non-zero if any metric
+//	                         # drifts past tolerance
+//	dpcbench -bench-out BENCH_5.json
+//	                         # write the large-I/O comparison plus the
+//	                         # reference-workload attribution summary
 package main
 
 import (
@@ -39,6 +51,14 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "with -metrics-out: also write the span tree as Perfetto/Chrome trace JSON to this file")
 		largeioOut = flag.String("largeio-out", "", "run the sequential large-I/O workload (serial vs pipelined submission), write its JSON report to this file and exit")
 		faults     = flag.Bool("faults", false, "run the reference workload under the canned fault schedule, report recovery counters and exit")
+
+		profOut        = flag.String("prof-out", "", "run the reference workload with critical-path profiling, print attribution tables and write the JSON report to this file")
+		foldedOut      = flag.String("folded-out", "", "with -prof-out: also write collapsed stacks (flamegraph.pl / speedscope input) to this file")
+		profTraceOut   = flag.String("prof-trace-out", "", "with -prof-out: also write the profiled Perfetto trace (dpcprof -trace input) to this file")
+		profMetricsOut = flag.String("prof-metrics-out", "", "with -prof-out: also write the profiled metrics snapshot (dpcprof -metrics input) to this file")
+		benchOut  = flag.String("bench-out", "", "write the large-I/O comparison plus attribution summary (BENCH_5 shape) to this file")
+		baseline  = flag.String("baseline", "", "baseline JSON (e.g. BENCH_3.json) for -compare")
+		compare   = flag.Bool("compare", false, "re-run the large-I/O scenario and fail (exit 1) if metrics drift past tolerance vs -baseline")
 	)
 	flag.Parse()
 
@@ -50,7 +70,7 @@ func main() {
 		return
 	}
 
-	if *metricsOut != "" || *largeioOut != "" {
+	if *metricsOut != "" || *largeioOut != "" || *profOut != "" || *benchOut != "" || *compare {
 		if *metricsOut != "" {
 			if err := runMetricsScenario(*metricsOut, *traceOut); err != nil {
 				fmt.Fprintln(os.Stderr, "metrics scenario:", err)
@@ -60,6 +80,28 @@ func main() {
 		if *largeioOut != "" {
 			if err := runLargeIOScenario(*largeioOut); err != nil {
 				fmt.Fprintln(os.Stderr, "largeio scenario:", err)
+				os.Exit(1)
+			}
+		}
+		if *profOut != "" {
+			if err := runProfScenario(*profOut, *foldedOut, *profTraceOut, *profMetricsOut); err != nil {
+				fmt.Fprintln(os.Stderr, "prof scenario:", err)
+				os.Exit(1)
+			}
+		}
+		if *benchOut != "" {
+			if err := runBenchOut(*benchOut); err != nil {
+				fmt.Fprintln(os.Stderr, "bench report:", err)
+				os.Exit(1)
+			}
+		}
+		if *compare {
+			if *baseline == "" {
+				fmt.Fprintln(os.Stderr, "-compare requires -baseline <file>")
+				os.Exit(1)
+			}
+			if err := runCompare(*baseline); err != nil {
+				fmt.Fprintln(os.Stderr, "bench compare FAILED:", err)
 				os.Exit(1)
 			}
 		}

@@ -46,7 +46,9 @@ func runMetricsScenario(metricsPath, tracePath string) error {
 		reg.Gauge("cache.host.hit_ratio").Set(float64(hits) / float64(total))
 	}
 
-	b, err := reg.SnapshotJSON(now)
+	// Obs.SnapshotJSON matches Registry.SnapshotJSON byte-for-byte here
+	// (profiling is off, so no tracer-health fields are added).
+	b, err := o.SnapshotJSON(now)
 	if err != nil {
 		return err
 	}
@@ -106,9 +108,17 @@ func nvmeWalk(o *obs.Obs, size int) (writeDMAs, readDMAs int64) {
 	phase := countDMAs(m.PCIe)
 	m.Eng.Go("nvme-walk", func(p *sim.Proc) {
 		hdr := make([]byte, 16)
+		// One root span per op so the submit span, the doorbell MMIO, and
+		// the completion wait form a single tree: the critical-path walk can
+		// then substitute the DPU-side TGT/worker spans into the host's
+		// inflight wait, mirroring what virtio.write/read cover natively.
+		ws := o.Begin(p, "nvmefs.op.write")
 		d.Submit(p, 0, nvmefs.Submission{FileOp: nvme.FileOpWrite, Header: hdr, Payload: make([]byte, size)})
+		ws.End(p)
 		writeDMAs = phase()
+		rs := o.Begin(p, "nvmefs.op.read")
 		d.Submit(p, 0, nvmefs.Submission{FileOp: nvme.FileOpRead, Header: hdr, RHLen: 1, ReadLen: size})
+		rs.End(p)
 		readDMAs = phase()
 	})
 	m.Eng.Run()

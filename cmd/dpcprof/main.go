@@ -1,0 +1,163 @@
+// Command dpcprof analyzes an exported trace offline: it rebuilds the span
+// tree from a Perfetto/Chrome trace file written by dpcbench (or any obs
+// export), runs the critical-path profiler over it, and prints per-op
+// attribution tables, transport-group shares, the wait-kind taxonomy, and a
+// top-K slow-op digest. With a metrics snapshot it also prints queue-depth
+// gauges and tracer health.
+//
+// Usage:
+//
+//	dpcbench -metrics-out m.json -trace-out t.json
+//	dpcprof -trace t.json [-metrics m.json] [-top 10]
+//	        [-json report.json] [-folded stacks.txt]
+//
+// The analysis is pure integer arithmetic over virtual time: the same trace
+// always renders byte-identical output, so reports diff cleanly across
+// code changes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"dpc/internal/obs"
+	"dpc/internal/prof"
+)
+
+func main() {
+	var (
+		tracePath   = flag.String("trace", "", "Perfetto/Chrome trace JSON written by dpcbench -trace-out (required)")
+		metricsPath = flag.String("metrics", "", "metrics snapshot JSON written by dpcbench -metrics-out (optional)")
+		topK        = flag.Int("top", 10, "how many slowest root spans to detail")
+		jsonOut     = flag.String("json", "", "also write the report as byte-stable JSON to this file")
+		foldedOut   = flag.String("folded", "", "also write collapsed stacks (flamegraph.pl / speedscope input) to this file")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "dpcprof: -trace is required (see -h)")
+		os.Exit(2)
+	}
+	if err := run(*tracePath, *metricsPath, *jsonOut, *foldedOut, *topK); err != nil {
+		fmt.Fprintln(os.Stderr, "dpcprof:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tracePath, metricsPath, jsonOut, foldedOut string, topK int) error {
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		return err
+	}
+	spans, err := prof.ParsePerfetto(raw)
+	if err != nil {
+		return err
+	}
+	pr := prof.Analyze(spans)
+
+	var simTime int64
+	for _, s := range pr.Spans {
+		if int64(s.Data.End) > simTime {
+			simTime = int64(s.Data.End)
+		}
+	}
+	var droppedSpans, droppedIvs int64
+	snap, err := loadSnapshot(metricsPath)
+	if err != nil {
+		return err
+	}
+	if snap != nil {
+		simTime = snap.SimTimeNs
+		if snap.TracerDropped != nil {
+			droppedSpans = *snap.TracerDropped
+		}
+		droppedIvs = snap.Series["dropped_intervals"]
+	}
+
+	rep := prof.BuildReport(pr, simTime, droppedSpans, droppedIvs, topK)
+	fmt.Print(rep.Text())
+	if snap != nil {
+		printSnapshotExtras(snap)
+	}
+
+	if jsonOut != "" {
+		b, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote report JSON to %s\n", jsonOut)
+	}
+	if foldedOut != "" {
+		if err := os.WriteFile(foldedOut, prof.FoldedStacks(pr), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote folded stacks to %s\n", foldedOut)
+	}
+	return nil
+}
+
+func loadSnapshot(path string) (*obs.Snapshot, error) {
+	if path == "" {
+		return nil, nil
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return nil, fmt.Errorf("parse metrics %s: %w", path, err)
+	}
+	return &snap, nil
+}
+
+// printSnapshotExtras surfaces the profiler-relevant slices of the metrics
+// snapshot: per-queue SQ depth gauges and latency quantiles.
+func printSnapshotExtras(snap *obs.Snapshot) {
+	var depthKeys []string
+	for k := range snap.Gauges {
+		if strings.Contains(k, ".sq_depth") {
+			depthKeys = append(depthKeys, k)
+		}
+	}
+	if len(depthKeys) > 0 {
+		sort.Strings(depthKeys)
+		fmt.Println("\n== queue depth gauges ==")
+		for _, k := range depthKeys {
+			fmt.Printf("%-24s %10.0f\n", k, snap.Gauges[k])
+		}
+	}
+
+	var histKeys []string
+	for k := range snap.Histograms {
+		histKeys = append(histKeys, k)
+	}
+	if len(histKeys) > 0 {
+		sort.Strings(histKeys)
+		fmt.Println("\n== latency quantiles (ns) ==")
+		fmt.Printf("%-28s %9s %12s %12s %12s %12s\n", "histogram", "count", "p50", "p95", "p99", "max")
+		for _, k := range histKeys {
+			h := snap.Histograms[k]
+			fmt.Printf("%-28s %9d %12d %12d %12d %12d\n", k, h.Count,
+				h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.MaxNs)
+		}
+	}
+
+	if len(snap.Series) > 0 {
+		keys := make([]string, 0, len(snap.Series))
+		for k := range snap.Series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Println("\n== tracer health ==")
+		for _, k := range keys {
+			fmt.Printf("%-24s %10d\n", k, snap.Series[k])
+		}
+	}
+}

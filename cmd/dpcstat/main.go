@@ -1,6 +1,7 @@
 // Command dpcstat pretty-prints a metrics snapshot produced by
 // `dpcbench -metrics-out` (the obs registry's JSON snapshot format):
-// counters and gauges grouped by layer, histograms as one summary row each.
+// counters and gauges grouped by layer, histograms as one summary row each
+// with p50/p95/p99 quantiles recomputed from the log-spaced buckets.
 //
 // Usage:
 //
@@ -44,39 +45,54 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dpcstat: not a metrics snapshot:", err)
 		os.Exit(1)
 	}
+	render(os.Stdout, s)
+}
 
-	fmt.Printf("snapshot at %v of virtual time\n", time.Duration(s.SimTimeNs))
+// render writes the whole report; split from main so tests can pin the
+// output byte-for-byte.
+func render(w io.Writer, s obs.Snapshot) {
+	fmt.Fprintf(w, "snapshot at %v of virtual time\n", time.Duration(s.SimTimeNs))
 
 	if len(s.Counters) > 0 {
-		fmt.Println("\ncounters")
-		printGrouped(sortedKeys(s.Counters), func(name string) string {
+		fmt.Fprintln(w, "\ncounters")
+		printGrouped(w, sortedKeys(s.Counters), func(name string) string {
 			return fmt.Sprintf("%d", s.Counters[name])
 		})
 	}
 	if len(s.Gauges) > 0 {
-		fmt.Println("\ngauges")
-		printGrouped(sortedKeys(s.Gauges), func(name string) string {
+		fmt.Fprintln(w, "\ngauges")
+		printGrouped(w, sortedKeys(s.Gauges), func(name string) string {
 			return fmt.Sprintf("%.4g", s.Gauges[name])
 		})
 	}
 	if len(s.Histograms) > 0 {
-		fmt.Println("\nhistograms")
-		fmt.Printf("  %-28s %8s %10s %10s %10s %10s\n", "", "count", "p50", "p99", "max", "mean")
+		fmt.Fprintln(w, "\nhistograms")
+		fmt.Fprintf(w, "  %-28s %8s %10s %10s %10s %10s %10s\n", "", "count", "p50", "p95", "p99", "max", "mean")
 		for _, name := range sortedKeys(s.Histograms) {
 			h := s.Histograms[name]
 			mean := time.Duration(0)
 			if h.Count > 0 {
 				mean = time.Duration(h.SumNs / h.Count)
 			}
-			fmt.Printf("  %-28s %8d %10v %10v %10v %10v\n", name, h.Count,
-				time.Duration(h.P50Ns), time.Duration(h.P99Ns), time.Duration(h.MaxNs), mean)
+			fmt.Fprintf(w, "  %-28s %8d %10v %10v %10v %10v %10v\n", name, h.Count,
+				time.Duration(h.Quantile(0.50)), time.Duration(h.Quantile(0.95)),
+				time.Duration(h.Quantile(0.99)), time.Duration(h.MaxNs), mean)
+		}
+	}
+	if s.TracerDropped != nil || len(s.Series) > 0 {
+		fmt.Fprintln(w, "\ntracer")
+		if s.TracerDropped != nil {
+			fmt.Fprintf(w, "  %-36s %12d\n", "dropped_spans", *s.TracerDropped)
+		}
+		for _, name := range sortedKeys(s.Series) {
+			fmt.Fprintf(w, "  %-36s %12d\n", name, s.Series[name])
 		}
 	}
 }
 
 // printGrouped prints name/value lines with a blank line between layers (the
 // first dot-separated segment of the metric name).
-func printGrouped(names []string, value func(string) string) {
+func printGrouped(w io.Writer, names []string, value func(string) string) {
 	prevLayer := ""
 	for _, name := range names {
 		layer := name
@@ -84,10 +100,10 @@ func printGrouped(names []string, value func(string) string) {
 			layer = name[:i]
 		}
 		if prevLayer != "" && layer != prevLayer {
-			fmt.Println()
+			fmt.Fprintln(w)
 		}
 		prevLayer = layer
-		fmt.Printf("  %-36s %12s\n", name, value(name))
+		fmt.Fprintf(w, "  %-36s %12s\n", name, value(name))
 	}
 }
 

@@ -115,7 +115,9 @@ type Ctl struct {
 	flushFails int
 
 	// obs mirrors, cached at construction; nil no-op sinks when disabled.
+	// po is non-nil only in profiling mode (flush-join wait attribution).
 	o           *obs.Obs
+	po          *obs.Obs
 	oFlushes    *obs.Counter
 	oEvictions  *obs.Counter
 	oPrefetches *obs.Counter
@@ -198,6 +200,7 @@ func NewCtl(m *model.Machine, l Layout, backend Backend, cfg CtlConfig) *Ctl {
 	}
 	if o := m.Obs; o.Enabled() {
 		c.o = o
+		c.po = o.Prof()
 		c.oFlushes = o.Counter("cache.ctl.flushes")
 		c.oEvictions = o.Counter("cache.ctl.evictions")
 		c.oPrefetches = o.Counter("cache.ctl.prefetches")
@@ -330,8 +333,12 @@ func (c *Ctl) flushWindow(p *sim.Proc, entries []int, flush func(pp *sim.Proc, i
 			}
 		})
 	}
-	for remaining > 0 {
-		done.Wait(p)
+	if remaining > 0 {
+		waitFrom := p.Now()
+		for remaining > 0 {
+			done.Wait(p)
+		}
+		c.po.Attr(p, obs.CompWait, "cache.flush_join", waitFrom, p.Now())
 	}
 	return flushed, firstErr
 }

@@ -24,6 +24,8 @@ type Host struct {
 	WriteFull stats.Counter
 
 	// obs mirrors, cached at construction; nil no-op sinks when disabled.
+	// po is non-nil only in profiling mode (entry-lock spin attribution).
+	po         *obs.Obs
 	oHits      *obs.Counter
 	oMisses    *obs.Counter
 	oCachedWr  *obs.Counter
@@ -34,6 +36,7 @@ type Host struct {
 func NewHost(m *model.Machine, l Layout) *Host {
 	h := &Host{m: m, L: l}
 	if o := m.Obs; o.Enabled() {
+		h.po = o.Prof()
 		h.oHits = o.Counter("cache.host.hits")
 		h.oMisses = o.Counter("cache.host.misses")
 		h.oCachedWr = o.Counter("cache.host.cached_writes")
@@ -119,20 +122,31 @@ func (h *Host) WritePage(p *sim.Proc, ino, lpn uint64, data []byte) bool {
 	// stale copy that a later lookup serves as current data. The flusher
 	// holds the lock across a whole backend write, so waiting is bounded by
 	// one flush, not by a spin budget.
+	spinFrom := sim.Time(-1)
 	for spins := 0; ; spins++ {
 		if spins > 1<<22 {
 			panic("cache: WritePage livelocked on a held entry lock")
 		}
 		i := h.findEntry(ino, lpn)
 		if i < 0 {
+			if spinFrom >= 0 {
+				h.po.Attr(p, obs.CompWait, "cache.lock", spinFrom, p.Now())
+			}
 			break
 		}
 		a := h.L.EntryAddr(i)
 		if !h.m.HostMem.CompareAndSwap32(a+offLock, LockNone, LockWrite) {
 			// Locked by the flusher: wait for it to release rather than
 			// duplicating the page elsewhere.
+			if spinFrom < 0 {
+				spinFrom = p.Now()
+			}
 			p.Sleep(500 * time.Nanosecond)
 			continue
+		}
+		if spinFrom >= 0 {
+			h.po.Attr(p, obs.CompWait, "cache.lock", spinFrom, p.Now())
+			spinFrom = -1
 		}
 		e := ReadEntry(h.m.HostMem, h.L, i)
 		if (e.Status != StatusClean && e.Status != StatusDirty) || e.Ino != ino || e.LPN != lpn {
@@ -215,11 +229,18 @@ func (h *Host) InvalidateIno(p *sim.Proc, ino uint64) {
 			continue
 		}
 		a := h.L.EntryAddr(i)
+		spinFrom := sim.Time(-1)
 		for spins := 0; !h.m.HostMem.CompareAndSwap32(a+offLock, LockNone, LockWrite); spins++ {
 			if spins > 1<<22 {
 				panic("cache: InvalidateIno livelocked on a held entry lock")
 			}
+			if spinFrom < 0 {
+				spinFrom = p.Now()
+			}
 			p.Sleep(500 * time.Nanosecond)
+		}
+		if spinFrom >= 0 {
+			h.po.Attr(p, obs.CompWait, "cache.lock", spinFrom, p.Now())
 		}
 		e = ReadEntry(h.m.HostMem, h.L, i)
 		if e.Status != StatusFree && e.Ino == ino {

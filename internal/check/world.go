@@ -10,6 +10,7 @@ import (
 	"dpc/internal/kvfs"
 	"dpc/internal/localfs"
 	"dpc/internal/model"
+	"dpc/internal/obs"
 	"dpc/internal/sim"
 	"dpc/internal/ssd"
 )
@@ -27,7 +28,8 @@ type World struct {
 	barrier func(p *sim.Proc)          // flush everything dirty
 	fsck    func(p *sim.Proc) []string // offline consistency check, nil if none
 	close   func()
-	disarm  func() // stop fault injection (fault worlds only)
+	disarm  func()          // stop fault injection (fault worlds only)
+	now     func() sim.Time // current virtual time (dpc worlds only)
 
 	// injectBug, when non-nil, swaps the live cache's write-back for the
 	// pre-fix behavior that flushed whole pages without clamping to EOF.
@@ -85,6 +87,15 @@ func (w *World) Disarm() {
 	}
 }
 
+// Now returns the stack's current virtual time, or 0 if the world does not
+// expose its clock. Observed worlds use it to timestamp trace exports.
+func (w *World) Now() sim.Time {
+	if w.now == nil {
+		return 0
+	}
+	return w.now()
+}
+
 // InjectLegacyFlushBug reinstates the historical unclamped whole-page
 // write-back on stacks that have a hybrid cache. Returns false if the stack
 // has no cache to sabotage.
@@ -105,9 +116,9 @@ func StackNames() []string {
 func NewWorld(name string) (*World, error) {
 	switch name {
 	case "kvfs-direct":
-		return newKVFSWorld(name, 0, nil), nil
+		return newKVFSWorld(name, 0, nil, nil), nil
 	case "kvfs-cache":
-		return newKVFSWorld(name, 128, nil), nil
+		return newKVFSWorld(name, 128, nil, nil), nil
 	case "localfs":
 		return newLocalWorld(name), nil
 	case "dfs-std":
@@ -115,7 +126,7 @@ func NewWorld(name string) (*World, error) {
 	case "dfs-opt":
 		return newDFSWorld(name, true), nil
 	case "dfs-dpc":
-		return newDFSDPCWorld(name, nil), nil
+		return newDFSDPCWorld(name, nil, nil), nil
 	default:
 		return nil, fmt.Errorf("check: unknown stack %q (have %v)", name, StackNames())
 	}
@@ -134,13 +145,42 @@ func NewFaultWorld(name string, seed int64) (*World, error) {
 	rules := fault.TortureSchedule(seed)
 	switch name {
 	case "kvfs-direct":
-		return newKVFSWorld(name, 0, rules), nil
+		return newKVFSWorld(name, 0, rules, nil), nil
 	case "kvfs-cache":
-		return newKVFSWorld(name, 128, rules), nil
+		return newKVFSWorld(name, 128, rules, nil), nil
 	case "dfs-dpc":
-		return newDFSDPCWorld(name, rules), nil
+		return newDFSDPCWorld(name, rules, nil), nil
 	default:
 		return nil, fmt.Errorf("check: stack %q does not support fault injection (have %v)", name, FaultStackNames())
+	}
+}
+
+// NewObservedWorld instantiates a dpc stack with the supplied observability
+// handle threaded through the machine, so a torture run produces a full
+// span/attribution trace. Enable profiling on o BEFORE calling this —
+// components latch the profiler at construction time. Only the dpc stacks
+// (kvfs-direct, kvfs-cache, dfs-dpc) carry instrumentation.
+func NewObservedWorld(name string, o *obs.Obs) (*World, error) {
+	return newObserved(name, nil, o)
+}
+
+// NewObservedFaultWorld is NewObservedWorld under the deterministic
+// per-seed torture fault schedule, for asserting that attribution
+// invariants hold through retries, timeouts and resets.
+func NewObservedFaultWorld(name string, seed int64, o *obs.Obs) (*World, error) {
+	return newObserved(name, fault.TortureSchedule(seed), o)
+}
+
+func newObserved(name string, rules []fault.Rule, o *obs.Obs) (*World, error) {
+	switch name {
+	case "kvfs-direct":
+		return newKVFSWorld(name, 0, rules, o), nil
+	case "kvfs-cache":
+		return newKVFSWorld(name, 128, rules, o), nil
+	case "dfs-dpc":
+		return newDFSDPCWorld(name, rules, o), nil
+	default:
+		return nil, fmt.Errorf("check: stack %q cannot carry an obs handle (have %v)", name, FaultStackNames())
 	}
 }
 
@@ -162,10 +202,11 @@ func driveLoop(sys *dpc.System, fn func(p *sim.Proc)) {
 
 // ---- dpc/KVFS worlds (direct and hybrid-cache) ----
 
-func newKVFSWorld(name string, cachePages int, faults []fault.Rule) *World {
+func newKVFSWorld(name string, cachePages int, faults []fault.Rule, o *obs.Obs) *World {
 	opts := dpc.DefaultOptions()
 	opts.Model.HostMemMB = 192
 	opts.Model.DPUMemMB = 8
+	opts.Model.Obs = o
 	opts.CachePages = cachePages
 	// A deliberately small cache (128 pages, 16 buckets) keeps eviction and
 	// write-through pressure high during torture runs.
@@ -190,6 +231,7 @@ func newKVFSWorld(name string, cachePages int, faults []fault.Rule) *World {
 		drive: func(fn func(p *sim.Proc)) { driveLoop(sys, fn) },
 		apply: func(p *sim.Proc, op Op) Result { return applyDPC(p, cl, op) },
 		close: func() { sys.StopDaemons(); sys.Shutdown() },
+		now:   sys.Now,
 		fsck: func(p *sim.Proc) []string {
 			return sys.KVFS.Fsck(p, sys.KVCluster).Problems
 		},
@@ -459,10 +501,11 @@ func newDFSWorld(name string, optimized bool) *World {
 
 // ---- dpc/DFS world (offloaded client behind the hybrid cache) ----
 
-func newDFSDPCWorld(name string, faults []fault.Rule) *World {
+func newDFSDPCWorld(name string, faults []fault.Rule, o *obs.Obs) *World {
 	opts := dpc.DefaultOptions()
 	opts.Model.HostMemMB = 192
 	opts.Model.DPUMemMB = 8
+	opts.Model.Obs = o
 	opts.EnableKVFS = false
 	opts.EnableDFS = true
 	opts.CachePages = 128
@@ -494,5 +537,6 @@ func newDFSDPCWorld(name string, faults []fault.Rule) *World {
 		},
 		close:  func() { sys.StopDaemons(); sys.Shutdown() },
 		disarm: disarm,
+		now:    sys.Now,
 	}
 }

@@ -26,6 +26,13 @@ type Pool struct {
 	busyNs *obs.Counter
 	execs  *obs.Counter
 
+	// po is non-nil only in profiling mode: executions record CPU-compute
+	// intervals and run-queue delays record wait intervals on the caller's
+	// innermost span.
+	po       *obs.Obs
+	execKind string
+	waitKind string
+
 	// SwitchOverhead is added to every execution that finds the pool
 	// contended (more runnable work than cores), modeling context-switch
 	// and run-queue cost. The paper attributes the performance drop past
@@ -58,6 +65,14 @@ func (c *Pool) AttachObs(o *obs.Obs) {
 	}
 	c.busyNs = o.Counter("cpu." + c.name + ".busy_ns")
 	c.execs = o.Counter("cpu." + c.name + ".execs")
+	if po := o.Prof(); po != nil {
+		c.po = po
+		c.execKind = "cpu." + c.name
+		c.waitKind = "cpu." + c.name + ".runq"
+		c.res.OnWait = func(p *sim.Proc, since sim.Time) {
+			po.Attr(p, obs.CompWait, c.waitKind, since, c.eng.Now())
+		}
+	}
 }
 
 // Name returns the pool name.
@@ -88,7 +103,13 @@ func (c *Pool) ExecDuration(p *sim.Proc, d time.Duration) {
 	if contended && c.SwitchOverhead > 0 {
 		d += c.SwitchOverhead
 	}
-	p.Sleep(d)
+	if c.po != nil {
+		t0 := p.Now()
+		p.Sleep(d)
+		c.po.Attr(p, obs.CompCPU, c.execKind, t0, p.Now())
+	} else {
+		p.Sleep(d)
+	}
 	c.res.Release(1)
 	c.execs.Inc()
 	c.busyNs.Add(int64(d))

@@ -208,6 +208,7 @@ func (m *Machine) AttachObs(o *obs.Obs) {
 	m.Obs = o
 	m.HostCPU.AttachObs(o)
 	m.DPUCPU.AttachObs(o)
+	m.PCIe.AttachProf(o)
 	dmas := o.Counter("pcie.link.dmas")
 	h2d := o.Counter("pcie.link.dma_bytes_h2d")
 	d2h := o.Counter("pcie.link.dma_bytes_d2h")

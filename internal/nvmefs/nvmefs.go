@@ -126,6 +126,12 @@ type queueState struct {
 	slotCond  *sim.Cond
 	sqCond    *sim.Cond
 
+	// depthGauge ("nvmefs.q<N>.sq_depth") tracks in-flight commands on this
+	// queue, sampled at submit and reap so wait spikes correlate with queue
+	// saturation. Registered only in profiling mode (nil no-op otherwise) to
+	// keep the non-profiled metric key set unchanged.
+	depthGauge *obs.Gauge
+
 	pending map[uint16]*pendingCmd // by CID
 	// spanOf carries the submitter's span across the host→TGT hop so the
 	// DPU-side spans nest under the client operation that issued the CID.
@@ -198,8 +204,11 @@ type Driver struct {
 	handler Handler
 	queues  []*queueState
 
-	// o is the machine's observability hub (nil no-op when disabled).
+	// o is the machine's observability hub (nil no-op when disabled); po is
+	// non-nil only in profiling mode and gates wait-interval attribution
+	// (slot/SQ/inflight/backoff/reset waits) and per-queue depth gauges.
 	o          *obs.Obs
+	po         *obs.Obs
 	oCompleted *obs.Counter
 	// oDoorbells counts doorbell MMIOs; oCoalesced counts SQEs that shared
 	// a doorbell with an earlier SQE (the MMIOs a serial submitter would
@@ -282,6 +291,7 @@ func NewDriver(m *model.Machine, cfg Config, handler Handler) *Driver {
 	d := &Driver{m: m, cfg: cfg, handler: handler}
 	if o := m.Obs; o.Enabled() {
 		d.o = o
+		d.po = o.Prof()
 		d.oCompleted = o.Counter("nvmefs.driver.completed")
 		d.oDoorbells = o.Counter("nvmefs.driver.doorbells")
 		d.oCoalesced = o.Counter("nvmefs.driver.doorbells_coalesced")
@@ -301,6 +311,9 @@ func NewDriver(m *model.Machine, cfg Config, handler Handler) *Driver {
 			spanOf:   map[uint16]obs.Span{},
 			wStride:  64 + cfg.MaxIO,
 			rStride:  cfg.RHCap + cfg.MaxIO,
+		}
+		if d.po != nil {
+			qs.depthGauge = d.po.Gauge(fmt.Sprintf("nvmefs.q%d.sq_depth", qid))
 		}
 		qs.slabBase = m.AllocHost(cfg.SlotsPerQ*(qs.wStride+qs.rStride), 4096)
 		for i := cfg.SlotsPerQ - 1; i >= 0; i-- {
@@ -446,9 +459,13 @@ func (d *Driver) enqueueToken(p *sim.Proc, qid int, sub Submission, token uint32
 	// publish any batched SQEs: the TGT can only drain (and thereby free)
 	// work it has been told about, so an unrung burst must not sleep on the
 	// resources its own prefix is holding.
-	for len(qs.freeSlots) == 0 || len(qs.freeCID) == 0 {
-		d.ring(p, qs)
-		qs.slotCond.Wait(p)
+	if len(qs.freeSlots) == 0 || len(qs.freeCID) == 0 {
+		waitFrom := p.Now()
+		for len(qs.freeSlots) == 0 || len(qs.freeCID) == 0 {
+			d.ring(p, qs)
+			qs.slotCond.Wait(p)
+		}
+		d.po.Attr(p, obs.CompWait, "nvmefs.slot", waitFrom, p.Now())
 	}
 	slot := qs.freeSlots[len(qs.freeSlots)-1]
 	qs.freeSlots = qs.freeSlots[:len(qs.freeSlots)-1]
@@ -490,9 +507,13 @@ func (d *Driver) enqueueToken(p *sim.Proc, qid int, sub Submission, token uint32
 		sqe.PRPRead = [2]uint64{uint64(rbuf), uint64(rbuf) + 4096}
 	}
 
-	for qs.qp.SQFull() {
-		d.ring(p, qs)
-		qs.sqCond.Wait(p)
+	if qs.qp.SQFull() {
+		waitFrom := p.Now()
+		for qs.qp.SQFull() {
+			d.ring(p, qs)
+			qs.sqCond.Wait(p)
+		}
+		d.po.Attr(p, obs.CompWait, "nvmefs.sq", waitFrom, p.Now())
 	}
 	// Write the SQE into the SQ ring (host-local memory write).
 	sqeAddr := qs.qp.SQ.EntryAddr(qs.qp.SQTail)
@@ -508,6 +529,7 @@ func (d *Driver) enqueueToken(p *sim.Proc, qid int, sub Submission, token uint32
 		token:   token,
 	}
 	qs.pending[cid] = pd
+	qs.depthGauge.Set(float64(len(qs.pending)))
 	if s.Valid() {
 		qs.spanOf[cid] = s
 	}
@@ -547,6 +569,7 @@ func (d *Driver) onDeadline(qs *queueState, cid uint16, pd *pendingCmd) {
 	pd.comp = Completion{Status: nvme.StatusTimeout}
 	pd.done = true
 	delete(qs.pending, cid)
+	qs.depthGauge.Set(float64(len(qs.pending)))
 	delete(qs.spanOf, cid)
 	qs.freeCID = append(qs.freeCID, cid)
 	slot := pd.slot
@@ -589,8 +612,12 @@ func (pend *Pending) Wait(p *sim.Proc) Completion {
 	d := pend.d
 	s := d.o.Begin(p, "nvmefs.wait")
 	for {
-		for !pend.pd.done {
-			pend.pd.cond.Wait(p)
+		if !pend.pd.done {
+			waitFrom := p.Now()
+			for !pend.pd.done {
+				pend.pd.cond.Wait(p)
+			}
+			d.po.Attr(p, obs.CompWait, "nvmefs.inflight", waitFrom, p.Now())
 		}
 		comp := pend.pd.comp
 		if !nvme.Retryable(comp.Status) || pend.attempts >= d.cfg.MaxRetries {
@@ -612,7 +639,11 @@ func (pend *Pending) Wait(p *sim.Proc) Completion {
 		if backoff > d.cfg.RetryMax || backoff <= 0 {
 			backoff = d.cfg.RetryMax
 		}
+		// The backoff sleep is recovery time, not work: attribute it as
+		// wait so fault-injected runs show where retry latency went.
+		backoffFrom := p.Now()
 		p.Sleep(backoff)
+		d.po.Attr(p, obs.CompWait, "nvmefs.backoff", backoffFrom, p.Now())
 		np := d.enqueueToken(p, pend.qid, pend.sub, pend.token)
 		pend.cid, pend.pd = np.cid, np.pd
 		d.ring(p, d.queues[pend.qid%len(d.queues)])
@@ -636,7 +667,9 @@ func (d *Driver) reset(p *sim.Proc) {
 		d.oResets.Inc()
 	}
 	rs := d.o.Begin(p, "nvmefs.reset")
+	resetFrom := p.Now()
 	p.Sleep(d.cfg.ResetDelay)
+	d.po.Attr(p, obs.CompWait, "nvmefs.reset", resetFrom, p.Now())
 	for _, qs := range d.queues {
 		qs.gen++
 		// Fail in-flight commands in CID order (deterministic iteration).
@@ -660,6 +693,7 @@ func (d *Driver) reset(p *sim.Proc) {
 			pd.cond.Signal()
 		}
 		d.oInflight.Set(float64(d.inflight))
+		qs.depthGauge.Set(float64(len(qs.pending)))
 		// Re-arm the rings. Only pending-held CIDs/slots were released
 		// above: submitters parked mid-enqueue still own theirs and resume
 		// against the fresh indices when the conds broadcast.
@@ -942,6 +976,7 @@ func (d *Driver) complete(p *sim.Proc, qs *queueState, gen int, sqe nvme.SQE, re
 		pd.comp = comp
 		pd.done = true
 		delete(qs.pending, cqe.CID)
+		qs.depthGauge.Set(float64(len(qs.pending)))
 		delete(qs.spanOf, cqe.CID)
 		qs.freeSlots = append(qs.freeSlots, pd.slot)
 		qs.freeCID = append(qs.freeCID, cqe.CID)

@@ -26,6 +26,12 @@ import (
 type Obs struct {
 	reg *Registry
 	tr  *Tracer
+
+	// profiling gates per-resource latency attribution: component intervals
+	// on spans, resource wait hooks, and the extra snapshot fields. Off by
+	// default so metric snapshots and hot-path allocation behavior stay
+	// identical to non-profiled builds.
+	profiling bool
 }
 
 // New returns an enabled observability hub.
@@ -35,6 +41,68 @@ func New() *Obs {
 
 // Enabled reports whether the hub records anything.
 func (o *Obs) Enabled() bool { return o != nil }
+
+// EnableProfiling turns on critical-path attribution: components start
+// recording per-span component intervals (CPU compute, DMA/MMIO, SSD
+// service, waits) that internal/prof decomposes. Must be called before the
+// machine and its components are built — they cache the profiling handle at
+// AttachObs time.
+func (o *Obs) EnableProfiling() {
+	if o != nil {
+		o.profiling = true
+	}
+}
+
+// Profiling reports whether attribution recording is on.
+func (o *Obs) Profiling() bool { return o != nil && o.profiling }
+
+// Prof returns o when profiling is enabled and nil otherwise. Components
+// cache the result in a field consulted on hot paths, so the disabled mode
+// costs one pointer test and allocates nothing.
+func (o *Obs) Prof() *Obs {
+	if o.Profiling() {
+		return o
+	}
+	return nil
+}
+
+// Attr records one attributed component interval [start, end) against p's
+// innermost open span. Intervals recorded with no span open (or on a hub
+// without profiling) are dropped and counted. The recording process must
+// not have run between start and now — all callers capture start, block
+// (sleep, resource queue, cond wait) and record on wake, so the innermost
+// span cannot have changed in between.
+func (o *Obs) Attr(p *sim.Proc, comp Component, kind string, start, end sim.Time) {
+	if o == nil || !o.profiling || end <= start {
+		return
+	}
+	o.tr.attr(p, comp, kind, start, end)
+}
+
+// SnapshotJSON renders the metrics snapshot. With profiling enabled it
+// additionally exports tracer drop counts and per-registry series counts,
+// so truncated traces are visible in reports instead of silently skewing
+// attribution; without profiling the bytes are identical to
+// Registry.SnapshotJSON.
+func (o *Obs) SnapshotJSON(now sim.Time) ([]byte, error) {
+	if o == nil {
+		return (*Registry)(nil).SnapshotJSON(now)
+	}
+	s := o.reg.Snapshot(now)
+	if o.profiling {
+		dropped := o.tr.Dropped()
+		s.TracerDropped = &dropped
+		s.Series = map[string]int64{
+			"counters":          int64(len(o.reg.counters)),
+			"gauges":            int64(len(o.reg.gauges)),
+			"histograms":        int64(len(o.reg.hists)),
+			"spans_closed":      int64(len(o.tr.done)),
+			"spans_open":        int64(len(o.tr.open)),
+			"dropped_intervals": o.tr.droppedIvs,
+		}
+	}
+	return marshalSnapshot(s)
+}
 
 // Registry returns the metrics registry (nil when disabled).
 func (o *Obs) Registry() *Registry {

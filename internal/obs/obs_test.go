@@ -201,6 +201,9 @@ func TestDisabledPathAllocatesNothing(t *testing.T) {
 		o.Annotate(nil, "dma", 4096)
 		s.SetParent(Span{})
 		s.End(nil)
+		// Profiling hooks: Prof() is nil when disabled, and Attr on a nil
+		// receiver is a bare nil check.
+		o.Prof().Attr(nil, CompWait, "q", 0, 10)
 	})
 	if allocs != 0 {
 		t.Errorf("disabled path allocates %.0f bytes/op, want 0", allocs)

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"math"
 	"time"
 
 	"dpc/internal/sim"
@@ -149,13 +150,62 @@ type HistSnapshot struct {
 	Buckets []HistBucket `json:"buckets,omitempty"`
 }
 
+// Quantile computes the q-quantile (0 < q <= 1) from the snapshot's
+// log-spaced buckets using the same nearest-rank rule as the live recorder,
+// clamped to the observed extremes so a sparse distribution never reports
+// past its true min/max. Exact-form snapshots (no buckets) fall back to the
+// precomputed p50/p99 nearest match.
+func (h HistSnapshot) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if len(h.Buckets) == 0 {
+		if q <= 0.5 {
+			return h.P50Ns
+		}
+		return h.P99Ns
+	}
+	if q <= 0 {
+		return h.MinNs
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.Count {
+		rank = h.Count
+	}
+	var seen int64
+	for _, b := range h.Buckets {
+		seen += b.Count
+		if seen >= rank {
+			ub := b.LENs
+			if ub > h.MaxNs {
+				ub = h.MaxNs
+			}
+			return ub
+		}
+	}
+	return h.MaxNs
+}
+
 // Snapshot is a stable, JSON-serializable view of a registry. Map keys
 // marshal in sorted order, so identical registries produce identical bytes.
+//
+// TracerDropped and Series are populated only by Obs.SnapshotJSON when
+// profiling is enabled; Registry.SnapshotJSON leaves them unset so
+// non-profiled snapshots keep their historical byte format.
 type Snapshot struct {
 	SimTimeNs  int64                   `json:"sim_time_ns"`
 	Counters   map[string]int64        `json:"counters"`
 	Gauges     map[string]float64      `json:"gauges"`
 	Histograms map[string]HistSnapshot `json:"histograms"`
+
+	// TracerDropped counts spans discarded over the tracer cap — nonzero
+	// means attribution reports are computed from a truncated trace.
+	TracerDropped *int64 `json:"tracer_dropped,omitempty"`
+	// Series counts recorded series and spans per kind.
+	Series map[string]int64 `json:"series,omitempty"`
 }
 
 // Snapshot captures every metric at virtual time now.
@@ -195,7 +245,11 @@ func (r *Registry) Snapshot(now sim.Time) Snapshot {
 // SnapshotJSON renders the snapshot as indented JSON with sorted keys
 // (byte-stable across identical runs).
 func (r *Registry) SnapshotJSON(now sim.Time) ([]byte, error) {
-	b, err := json.MarshalIndent(r.Snapshot(now), "", "  ")
+	return marshalSnapshot(r.Snapshot(now))
+}
+
+func marshalSnapshot(s Snapshot) ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
 	if err != nil {
 		return nil, err
 	}

@@ -26,8 +26,9 @@ type Tracer struct {
 
 	// maxSpans bounds memory on long runs; spans beyond it are counted,
 	// not recorded.
-	maxSpans int
-	dropped  int64
+	maxSpans   int
+	dropped    int64
+	droppedIvs int64
 
 	// tids maps process names to stable Perfetto thread ids, in first-use
 	// order (deterministic because the simulation is).
@@ -50,6 +51,7 @@ type spanRec struct {
 	start  sim.Time
 	end    sim.Time
 	annots []annot
+	ivs    []ivRec // attributed component intervals (profiling mode only)
 }
 
 // defaultMaxSpans bounds a tracer to ~1M spans.
@@ -238,7 +240,20 @@ func (t *Tracer) Perfetto(now sim.Time) []byte {
 			writeTS(&b, rec.start)
 			b.WriteString(`,"dur":`)
 			writeTS(&b, end-rec.start)
-			fmt.Fprintf(&b, `,"args":{"span":%d,"parent":%d}}`, rec.id, rec.parent)
+			fmt.Fprintf(&b, `,"args":{"span":%d,"parent":%d`, rec.id, rec.parent)
+			if len(rec.ivs) > 0 {
+				b.WriteString(`,"iv":[`)
+				for i, iv := range rec.ivs {
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					fmt.Fprintf(&b, `[%s,%s,%d,%d]`,
+						strconv.Quote(iv.comp.String()), strconv.Quote(iv.kind),
+						int64(iv.start), int64(iv.end))
+				}
+				b.WriteByte(']')
+			}
+			b.WriteString("}}")
 		})
 		for _, a := range rec.annots {
 			emitAnnot(&b, emit, a, rec.id)

@@ -17,6 +17,7 @@ import (
 
 	"dpc/internal/fault"
 	"dpc/internal/mem"
+	"dpc/internal/obs"
 	"dpc/internal/sim"
 	"dpc/internal/stats"
 )
@@ -118,6 +119,12 @@ type Link struct {
 	// faults is consulted on every DMA; nil means no injection.
 	faults *fault.Injector
 
+	// po is non-nil only in profiling mode (AttachProf): every DMA setup and
+	// payload serialization records a CompDMA interval, MMIO/atomics record
+	// CompMMIO, and queueing for an engine or the shared pipe records
+	// CompWait on the issuing process's innermost span.
+	po *obs.Obs
+
 	// subs receives every PCIe operation, in subscription order. Multiple
 	// consumers coexist: cmd/dpctrace's printer and the obs metrics bridge
 	// can both watch the same link.
@@ -176,6 +183,35 @@ func NewLink(eng *sim.Engine, cfg Config) *Link {
 // Config returns the link's cost model.
 func (l *Link) Config() Config { return l.cfg }
 
+// AttachProf enables per-operation latency attribution on this link. No-op
+// unless o has profiling enabled (the model wires it unconditionally from
+// AttachObs).
+func (l *Link) AttachProf(o *obs.Obs) {
+	po := o.Prof()
+	if po == nil {
+		return
+	}
+	l.po = po
+	l.engines.OnWait = func(p *sim.Proc, since sim.Time) {
+		po.Attr(p, obs.CompWait, "pcie.engine", since, l.eng.Now())
+	}
+	l.pipe.OnWait = func(p *sim.Proc, since sim.Time) {
+		po.Attr(p, obs.CompWait, "pcie.arb", since, l.eng.Now())
+	}
+}
+
+// sleepAttr sleeps d and, in profiling mode, records the slept interval as
+// an attributed component on p's innermost span.
+func (l *Link) sleepAttr(p *sim.Proc, d time.Duration, comp obs.Component, kind string) {
+	if l.po == nil {
+		p.Sleep(d)
+		return
+	}
+	t0 := p.Now()
+	p.Sleep(d)
+	l.po.Attr(p, comp, kind, t0, p.Now())
+}
+
 // payloadTime returns the serialization time of n bytes on the link.
 func (l *Link) payloadTime(n int) time.Duration {
 	return time.Duration(int64(n) * int64(time.Second) / l.cfg.BandwidthBps)
@@ -193,11 +229,11 @@ func (l *Link) dma(p *sim.Proc, dir Dir, addr mem.Addr, n int, label string) {
 	l.engines.Acquire(p, 1)
 	if injected && kind == fault.KindPCIeStall {
 		l.Stalls.Inc()
-		p.Sleep(delay)
+		l.sleepAttr(p, delay, obs.CompWait, "pcie.stall")
 	}
-	p.Sleep(l.cfg.DMASetup)
+	l.sleepAttr(p, l.cfg.DMASetup, obs.CompDMA, label)
 	l.pipe.Acquire(p, 1)
-	p.Sleep(l.payloadTime(n))
+	l.sleepAttr(p, l.payloadTime(n), obs.CompDMA, label)
 	l.pipe.Release(1)
 	l.engines.Release(1)
 
@@ -234,7 +270,7 @@ func (l *Link) DMAWrite(p *sim.Proc, r *mem.Region, addr mem.Addr, src []byte, l
 // MMIOWrite32 is a posted 32-bit write (doorbell) from host to device
 // register space backed by r.
 func (l *Link) MMIOWrite32(p *sim.Proc, r *mem.Region, addr mem.Addr, v uint32, label string) {
-	p.Sleep(l.cfg.MMIOLatency)
+	l.sleepAttr(p, l.cfg.MMIOLatency, obs.CompMMIO, label)
 	r.PutUint32(addr, v)
 	l.MMIOs.Inc()
 	if len(l.subs) > 0 {
@@ -245,7 +281,7 @@ func (l *Link) MMIOWrite32(p *sim.Proc, r *mem.Region, addr mem.Addr, v uint32, 
 // AtomicCAS32 is a PCIe atomic compare-and-swap on host memory, issued by
 // the device (the hybrid cache's DPU-side lock operations).
 func (l *Link) AtomicCAS32(p *sim.Proc, r *mem.Region, addr mem.Addr, old, new uint32, label string) bool {
-	p.Sleep(l.cfg.AtomicLatency)
+	l.sleepAttr(p, l.cfg.AtomicLatency, obs.CompMMIO, label)
 	l.Atomics.Inc()
 	if len(l.subs) > 0 {
 		l.emit(Event{At: l.eng.Now(), Op: OpAtomic, Dir: HostToDev, Addr: addr, Bytes: 4, Label: label, Proc: p})
@@ -255,7 +291,7 @@ func (l *Link) AtomicCAS32(p *sim.Proc, r *mem.Region, addr mem.Addr, old, new u
 
 // AtomicStore32 is a PCIe atomic store (release a lock word).
 func (l *Link) AtomicStore32(p *sim.Proc, r *mem.Region, addr mem.Addr, v uint32, label string) {
-	p.Sleep(l.cfg.AtomicLatency)
+	l.sleepAttr(p, l.cfg.AtomicLatency, obs.CompMMIO, label)
 	l.Atomics.Inc()
 	if len(l.subs) > 0 {
 		l.emit(Event{At: l.eng.Now(), Op: OpAtomic, Dir: HostToDev, Addr: addr, Bytes: 4, Label: label, Proc: p})
@@ -265,7 +301,7 @@ func (l *Link) AtomicStore32(p *sim.Proc, r *mem.Region, addr mem.Addr, v uint32
 
 // AtomicFetchAdd32 is a PCIe atomic fetch-and-add on host memory.
 func (l *Link) AtomicFetchAdd32(p *sim.Proc, r *mem.Region, addr mem.Addr, delta uint32, label string) uint32 {
-	p.Sleep(l.cfg.AtomicLatency)
+	l.sleepAttr(p, l.cfg.AtomicLatency, obs.CompMMIO, label)
 	l.Atomics.Inc()
 	if len(l.subs) > 0 {
 		l.emit(Event{At: l.eng.Now(), Op: OpAtomic, Dir: HostToDev, Addr: addr, Bytes: 4, Label: label, Proc: p})

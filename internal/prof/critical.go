@@ -1,0 +1,202 @@
+package prof
+
+import (
+	"sort"
+
+	"dpc/internal/obs"
+	"dpc/internal/sim"
+)
+
+// Segment is one hop of a critical path: Ns nanoseconds attributed to
+// (Comp, Kind) while Span was the bounding span on Proc.
+type Segment struct {
+	Span string `json:"span"`
+	Proc string `json:"proc"`
+	Comp string `json:"comp"`
+	Kind string `json:"kind,omitempty"`
+	Ns   int64  `json:"ns"`
+}
+
+// CriticalPath collapses root's concurrent span tree into the serial chain
+// that bounds its latency. The walk replays the root's timeline; whenever
+// the timeline hits a recorded wait interval, cross-process spans
+// overlapping that window (the request's continuation on another core) are
+// substituted in and walked recursively. Each candidate span carries a
+// consumed-window cursor so that a worker overlapping several wait windows
+// is never counted twice. Segment durations sum exactly to the root's
+// duration.
+func (pr *Profile) CriticalPath(root *Span) []Segment {
+	w := &cpWalker{
+		consumed: map[*Span]sim.Time{},
+		onPath:   map[*Span]bool{},
+	}
+	// Candidates come from this root's tree only: with concurrent ops in
+	// flight, another request's worker overlapping our wait window in time
+	// must not be substituted into our path.
+	w.collect(root)
+	sort.Slice(w.cands, func(i, j int) bool {
+		a, b := w.cands[i], w.cands[j]
+		if a.Data.Start != b.Data.Start {
+			return a.Data.Start < b.Data.Start
+		}
+		return a.Data.ID < b.Data.ID
+	})
+	w.walk(root, root.Data.Start, root.Data.End)
+	return mergeSegments(w.segs)
+}
+
+// CPAttr aggregates a critical path into a per-component breakdown.
+func CPAttr(segs []Segment) Attr {
+	var a Attr
+	for _, s := range segs {
+		for c := obs.Component(0); c < obs.NumComponents; c++ {
+			if c.String() == s.Comp {
+				a.Add(c, s.Ns)
+				break
+			}
+		}
+	}
+	return a
+}
+
+type cpWalker struct {
+	segs     []Segment
+	cands    []*Span            // cross-process spans in this root's tree
+	consumed map[*Span]sim.Time // per-candidate high-water mark
+	onPath   map[*Span]bool     // recursion guard
+}
+
+func (w *cpWalker) collect(s *Span) {
+	for _, c := range s.Children {
+		w.collect(c)
+	}
+	for _, c := range s.XChildren {
+		w.cands = append(w.cands, c)
+		w.collect(c)
+	}
+}
+
+func (w *cpWalker) emit(s *Span, comp obs.Component, kind string, lo, hi sim.Time) {
+	if hi <= lo {
+		return
+	}
+	w.segs = append(w.segs, Segment{
+		Span: s.Data.Name,
+		Proc: s.Data.Proc,
+		Comp: comp.String(),
+		Kind: kind,
+		Ns:   int64(hi - lo),
+	})
+}
+
+// cpEvent is a same-process child or a recorded interval on s's timeline.
+type cpEvent struct {
+	start, end sim.Time
+	child      *Span         // nil for interval events
+	comp       obs.Component // interval events only
+	kind       string
+}
+
+// walk replays span s over the window [lo, hi): recorded intervals become
+// segments (waits get substitution), same-process children recurse, and
+// uncovered time becomes an "other" segment on s.
+func (w *cpWalker) walk(s *Span, lo, hi sim.Time) {
+	if hi <= lo {
+		return
+	}
+	w.onPath[s] = true
+	defer delete(w.onPath, s)
+
+	// Merge children and intervals in start order. Both source slices are
+	// already start-sorted; a two-finger merge keeps this allocation-light
+	// and deterministic (children before intervals on ties — a child's own
+	// intervals are attributed inside the child).
+	events := make([]cpEvent, 0, len(s.Children)+len(s.Data.Intervals))
+	ci, ii := 0, 0
+	for ci < len(s.Children) || ii < len(s.Data.Intervals) {
+		takeChild := ii >= len(s.Data.Intervals) ||
+			(ci < len(s.Children) && s.Children[ci].Data.Start <= s.Data.Intervals[ii].Start)
+		if takeChild {
+			c := s.Children[ci]
+			events = append(events, cpEvent{start: c.Data.Start, end: c.Data.End, child: c})
+			ci++
+		} else {
+			iv := s.Data.Intervals[ii]
+			events = append(events, cpEvent{start: iv.Start, end: iv.End, comp: iv.Comp, kind: iv.Kind})
+			ii++
+		}
+	}
+
+	cursor := lo
+	for _, ev := range events {
+		elo, ehi := clip(ev.start, ev.end, cursor, hi)
+		if ehi <= elo {
+			continue
+		}
+		w.emit(s, obs.CompOther, "", cursor, elo)
+		switch {
+		case ev.child != nil:
+			w.walk(ev.child, elo, ehi)
+		case ev.comp == obs.CompWait:
+			w.fillWait(s, ev.kind, elo, ehi)
+		default:
+			w.emit(s, ev.comp, ev.kind, elo, ehi)
+		}
+		cursor = ehi
+	}
+	w.emit(s, obs.CompOther, "", cursor, hi)
+}
+
+// fillWait covers a wait window [lo, hi) on span s: cross-process spans
+// overlapping the window are walked in start order (their unconsumed slice
+// only); the remainder stays attributed to s as wait of the given kind.
+func (w *cpWalker) fillWait(s *Span, kind string, lo, hi sim.Time) {
+	cursor := lo
+	for _, c := range w.cands {
+		if c.Data.Start >= hi {
+			break
+		}
+		if c == s || w.onPath[c] || c.Data.End <= cursor {
+			continue
+		}
+		from := c.Data.Start
+		if from < cursor {
+			from = cursor
+		}
+		if seen := w.consumed[c]; from < seen {
+			from = seen
+		}
+		to := c.Data.End
+		if to > hi {
+			to = hi
+		}
+		if to <= from {
+			continue
+		}
+		w.emit(s, obs.CompWait, kind, cursor, from)
+		w.consumed[c] = to
+		w.walk(c, from, to)
+		cursor = to
+		if cursor >= hi {
+			break
+		}
+	}
+	w.emit(s, obs.CompWait, kind, cursor, hi)
+}
+
+// mergeSegments coalesces adjacent segments with identical identity so the
+// path reads as hops, not nanosecond confetti.
+func mergeSegments(segs []Segment) []Segment {
+	out := segs[:0]
+	for _, sg := range segs {
+		if n := len(out); n > 0 {
+			p := &out[n-1]
+			if p.Span == sg.Span && p.Proc == sg.Proc && p.Comp == sg.Comp && p.Kind == sg.Kind {
+				p.Ns += sg.Ns
+				continue
+			}
+		}
+		out = append(out, sg)
+	}
+	return out
+}

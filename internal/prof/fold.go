@@ -1,0 +1,73 @@
+package prof
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FoldedStacks renders the profile in collapsed-stack format — one
+// "frame;frame;...;leaf ns" line per stack, the input format of
+// flamegraph.pl, speedscope, and pprof's collapsed importer. Frames are
+// span names from the root down; the leaf frame is "comp:kind" (or just
+// the component name when the kind is empty) and the count is self
+// nanoseconds. Equal stacks aggregate; lines sort lexically, so the output
+// is byte-stable for a given trace.
+func FoldedStacks(pr *Profile) []byte {
+	agg := map[string]int64{}
+	for _, n := range pr.Spans {
+		var frames []string
+		for s := n; s != nil; s = s.Parent {
+			frames = append(frames, s.Data.Name)
+		}
+		// Reverse: root first.
+		for i, j := 0, len(frames)-1; i < j; i, j = i+1, j-1 {
+			frames[i], frames[j] = frames[j], frames[i]
+		}
+		prefix := strings.Join(frames, ";")
+		// Split self time by (comp, kind) so kinds stay distinguishable in
+		// the graph; Attr only keeps per-component sums.
+		kinds := map[string]int64{}
+		for _, iv := range n.Data.Intervals {
+			lo, hi := clip(iv.Start, iv.End, n.Data.Start, n.Data.End)
+			if hi <= lo {
+				continue
+			}
+			leaf := iv.Comp.String()
+			if iv.Kind != "" {
+				leaf += ":" + iv.Kind
+			}
+			kinds[leaf] += int64(hi - lo)
+		}
+		var ivSum int64
+		for _, ns := range kinds {
+			ivSum += ns
+		}
+		// Residual self time (other) — everything the span spent that no
+		// interval or same-process child claimed.
+		var childNs int64
+		for _, c := range n.Children {
+			lo, hi := clip(c.Data.Start, c.Data.End, n.Data.Start, n.Data.End)
+			if hi > lo {
+				childNs += int64(hi - lo)
+			}
+		}
+		if other := n.Dur() - childNs - ivSum; other > 0 {
+			kinds["other"] = other
+		}
+		for leaf, ns := range kinds {
+			agg[prefix+";"+leaf] += ns
+		}
+	}
+	lines := make([]string, 0, len(agg))
+	for stack, ns := range agg {
+		lines = append(lines, fmt.Sprintf("%s %d", stack, ns))
+	}
+	sort.Strings(lines)
+	var b strings.Builder
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}

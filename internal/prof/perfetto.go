@@ -1,0 +1,133 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"dpc/internal/obs"
+	"dpc/internal/sim"
+)
+
+// ParsePerfetto reconstructs span data from a Chrome trace-event JSON file
+// produced by Tracer.Perfetto, including the "iv" attribution arrays
+// emitted in profiling mode. Timestamps are written as microseconds with
+// exactly three fractional digits, so they convert back to integer
+// nanoseconds without float rounding.
+func ParsePerfetto(data []byte) ([]obs.SpanData, error) {
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string      `json:"ph"`
+			Name string      `json:"name"`
+			Tid  int         `json:"tid"`
+			Ts   json.Number `json:"ts"`
+			Dur  json.Number `json:"dur"`
+			Args struct {
+				Name   string            `json:"name"` // thread_name metadata
+				Span   uint64            `json:"span"`
+				Parent uint64            `json:"parent"`
+				Iv     []json.RawMessage `json:"iv"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("parse trace: %w", err)
+	}
+	threads := map[int]string{}
+	var spans []obs.SpanData
+	var tids []int // per-span tid, resolved to names after the full pass
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				threads[ev.Tid] = ev.Args.Name
+			}
+		case "X":
+			start, err := microsToNs(ev.Ts.String())
+			if err != nil {
+				return nil, fmt.Errorf("span %d ts: %w", ev.Args.Span, err)
+			}
+			dur, err := microsToNs(ev.Dur.String())
+			if err != nil {
+				return nil, fmt.Errorf("span %d dur: %w", ev.Args.Span, err)
+			}
+			sd := obs.SpanData{
+				ID:     ev.Args.Span,
+				Parent: ev.Args.Parent,
+				Name:   ev.Name,
+				Start:  sim.Time(start),
+				End:    sim.Time(start + dur),
+			}
+			for _, raw := range ev.Args.Iv {
+				iv, err := parseInterval(raw)
+				if err != nil {
+					return nil, fmt.Errorf("span %d: %w", ev.Args.Span, err)
+				}
+				sd.Intervals = append(sd.Intervals, iv)
+			}
+			spans = append(spans, sd)
+			tids = append(tids, ev.Tid)
+		}
+	}
+	for i := range spans {
+		spans[i].Proc = threads[tids[i]]
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].ID < spans[j].ID
+	})
+	return spans, nil
+}
+
+// parseInterval decodes one ["comp","kind",startNs,endNs] tuple.
+func parseInterval(raw json.RawMessage) (obs.Interval, error) {
+	var tup [4]json.RawMessage
+	if err := json.Unmarshal(raw, &tup); err != nil {
+		return obs.Interval{}, fmt.Errorf("interval tuple: %w", err)
+	}
+	var compName, kind string
+	if err := json.Unmarshal(tup[0], &compName); err != nil {
+		return obs.Interval{}, fmt.Errorf("interval comp: %w", err)
+	}
+	if err := json.Unmarshal(tup[1], &kind); err != nil {
+		return obs.Interval{}, fmt.Errorf("interval kind: %w", err)
+	}
+	var start, end int64
+	if err := json.Unmarshal(tup[2], &start); err != nil {
+		return obs.Interval{}, fmt.Errorf("interval start: %w", err)
+	}
+	if err := json.Unmarshal(tup[3], &end); err != nil {
+		return obs.Interval{}, fmt.Errorf("interval end: %w", err)
+	}
+	comp, ok := obs.ComponentByName(compName)
+	if !ok {
+		return obs.Interval{}, fmt.Errorf("unknown component %q", compName)
+	}
+	return obs.Interval{Comp: comp, Kind: kind, Start: sim.Time(start), End: sim.Time(end)}, nil
+}
+
+// microsToNs converts a "12.345" microsecond literal (≤3 fractional
+// digits) to integer nanoseconds.
+func microsToNs(s string) (int64, error) {
+	whole, frac := s, ""
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		whole, frac = s[:i], s[i+1:]
+	}
+	if len(frac) > 3 {
+		return 0, fmt.Errorf("timestamp %q has sub-ns precision", s)
+	}
+	for len(frac) < 3 {
+		frac += "0"
+	}
+	var w, f int64
+	if _, err := fmt.Sscanf(whole+" "+frac, "%d %d", &w, &f); err != nil {
+		return 0, fmt.Errorf("timestamp %q: %w", s, err)
+	}
+	if w < 0 {
+		return w*1000 - f, nil
+	}
+	return w*1000 + f, nil
+}

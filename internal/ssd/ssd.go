@@ -72,6 +72,11 @@ type Device struct {
 	oWrites     *obs.Counter
 	oBytesRead  *obs.Counter
 	oBytesWrite *obs.Counter
+
+	// po is non-nil only in profiling mode: media latency and bus payload
+	// time record CompSSD service intervals, channel/bus queueing and
+	// injected stalls record CompWait.
+	po *obs.Obs
 }
 
 // AttachObs registers the device's counters ("ssd.dev.*") and enables
@@ -85,6 +90,29 @@ func (d *Device) AttachObs(o *obs.Obs) {
 	d.oWrites = o.Counter("ssd.dev.writes")
 	d.oBytesRead = o.Counter("ssd.dev.bytes_read")
 	d.oBytesWrite = o.Counter("ssd.dev.bytes_written")
+	if po := o.Prof(); po != nil {
+		d.po = po
+		d.channels.OnWait = func(p *sim.Proc, since sim.Time) {
+			po.Attr(p, obs.CompWait, "ssd.queue", since, d.eng.Now())
+		}
+		busWait := func(p *sim.Proc, since sim.Time) {
+			po.Attr(p, obs.CompWait, "ssd.bus", since, d.eng.Now())
+		}
+		d.readBus.OnWait = busWait
+		d.writeBus.OnWait = busWait
+	}
+}
+
+// sleepAttr sleeps d and, in profiling mode, records the slept interval as
+// an attributed component on p's innermost span.
+func (d *Device) sleepAttr(p *sim.Proc, dur time.Duration, comp obs.Component, kind string) {
+	if d.po == nil {
+		p.Sleep(dur)
+		return
+	}
+	t0 := p.Now()
+	p.Sleep(dur)
+	d.po.Attr(p, comp, kind, t0, p.Now())
 }
 
 // SetFaults attaches a fault injector to the timed I/O paths.
@@ -122,9 +150,9 @@ func (d *Device) Read(p *sim.Proc, off int64, n int) ([]byte, error) {
 	s := d.o.Begin(p, "ssd.read")
 	kind, delay, injected := d.faults.At(fault.SiteSSDRead)
 	d.channels.Acquire(p, 1)
-	p.Sleep(d.cfg.ReadLatency)
+	d.sleepAttr(p, d.cfg.ReadLatency, obs.CompSSD, "ssd.read")
 	d.readBus.Acquire(p, 1)
-	p.Sleep(time.Duration(int64(n) * int64(time.Second) / d.cfg.ReadBps))
+	d.sleepAttr(p, time.Duration(int64(n)*int64(time.Second)/d.cfg.ReadBps), obs.CompSSD, "ssd.read")
 	d.readBus.Release(1)
 	d.channels.Release(1)
 	d.Reads.Inc()
@@ -139,7 +167,7 @@ func (d *Device) Read(p *sim.Proc, off int64, n int) ([]byte, error) {
 			return nil, fault.Errf(kind, "ssd read [%d,+%d)", off, n)
 		case fault.KindSSDStall:
 			d.Stalls.Inc()
-			p.Sleep(delay)
+			d.sleepAttr(p, delay, obs.CompWait, "ssd.stall")
 		}
 	}
 	s.End(p)
@@ -153,9 +181,9 @@ func (d *Device) Write(p *sim.Proc, off int64, data []byte) error {
 	s := d.o.Begin(p, "ssd.write")
 	kind, delay, injected := d.faults.At(fault.SiteSSDWrite)
 	d.channels.Acquire(p, 1)
-	p.Sleep(d.cfg.WriteLatency)
+	d.sleepAttr(p, d.cfg.WriteLatency, obs.CompSSD, "ssd.write")
 	d.writeBus.Acquire(p, 1)
-	p.Sleep(time.Duration(int64(len(data)) * int64(time.Second) / d.cfg.WriteBps))
+	d.sleepAttr(p, time.Duration(int64(len(data))*int64(time.Second)/d.cfg.WriteBps), obs.CompSSD, "ssd.write")
 	d.writeBus.Release(1)
 	d.channels.Release(1)
 	d.Writes.Inc()
@@ -170,7 +198,7 @@ func (d *Device) Write(p *sim.Proc, off int64, data []byte) error {
 			return fault.Errf(kind, "ssd write [%d,+%d)", off, len(data))
 		case fault.KindSSDStall:
 			d.Stalls.Inc()
-			p.Sleep(delay)
+			d.sleepAttr(p, delay, obs.CompWait, "ssd.stall")
 		}
 	}
 	s.End(p)

@@ -6,6 +6,7 @@ import (
 	"dpc/internal/fuse"
 	"dpc/internal/mem"
 	"dpc/internal/model"
+	"dpc/internal/obs"
 	"dpc/internal/sim"
 )
 
@@ -34,6 +35,10 @@ type pending struct {
 	done    bool
 	errno   int32
 	usedLen uint32
+	// span is the submitter's request span, carried across the host→HAL hop
+	// so the DPU-side span nests under the operation that published the
+	// chain (mirrors nvmefs's spanOf map).
+	span obs.Span
 }
 
 // Transport is the DPFS-style virtio-fs transport: FUSE requests encoded by
@@ -58,6 +63,11 @@ type Transport struct {
 	slotOf     map[uint16]int      // chain head -> slot
 	nextUnique uint64
 
+	// o is the machine's observability hub (nil no-op when disabled); po is
+	// non-nil only in profiling mode and gates wait-interval attribution.
+	o  *obs.Obs
+	po *obs.Obs
+
 	// Completed counts finished requests (for tests and experiments).
 	Completed int64
 }
@@ -81,6 +91,8 @@ func NewTransport(m *model.Machine, cfg Config, handler Handler) *Transport {
 		inflight:   map[uint16]*pending{},
 		slotOf:     map[uint16]int{},
 		slabStride: 4096 + cfg.MaxIO + 4096,
+		o:          m.Obs,
+		po:         m.Obs.Prof(),
 	}
 	t.slabBase = m.AllocHost(cfg.Slots*t.slabStride, 4096)
 	for i := cfg.Slots - 1; i >= 0; i-- {
@@ -125,13 +137,22 @@ func (t *Transport) do(p *sim.Proc, opcode uint32, nodeID, fh, offset uint64,
 	writeData []byte, readLen int) ([]byte, int32) {
 
 	costs := t.m.Cfg.Costs
+	spanName := "virtio.write"
+	if opcode == fuse.OpRead {
+		spanName = "virtio.read"
+	}
+	s := t.o.Begin(p, spanName)
 	// FUSE request transformation in the kernel (the "overburdened" queue
 	// path the paper describes).
 	t.m.HostExec(p, costs.HostFUSEEncode)
 
 	// Take a request slab.
-	for len(t.freeSlots) == 0 {
-		t.slotCond.Wait(p)
+	if len(t.freeSlots) == 0 {
+		waitFrom := p.Now()
+		for len(t.freeSlots) == 0 {
+			t.slotCond.Wait(p)
+		}
+		t.po.Attr(p, obs.CompWait, "virtio.slot", waitFrom, p.Now())
 	}
 	slot := t.freeSlots[len(t.freeSlots)-1]
 	t.freeSlots = t.freeSlots[:len(t.freeSlots)-1]
@@ -188,16 +209,23 @@ func (t *Transport) do(p *sim.Proc, opcode uint32, nodeID, fh, offset uint64,
 	}
 
 	var head uint16
+	chainFrom := sim.Time(-1)
 	for {
 		var ok bool
 		head, ok = t.vq.AllocChain(bufs)
 		if ok {
 			break
 		}
+		if chainFrom < 0 {
+			chainFrom = p.Now()
+		}
 		t.chainCond.Wait(p)
 	}
+	if chainFrom >= 0 {
+		t.po.Attr(p, obs.CompWait, "virtio.chain", chainFrom, p.Now())
+	}
 
-	pd := &pending{cond: sim.NewCond(t.m.Eng, "vq-req")}
+	pd := &pending{cond: sim.NewCond(t.m.Eng, "vq-req"), span: s}
 	t.inflight[head] = pd
 	t.slotOf[head] = slot
 
@@ -206,8 +234,12 @@ func (t *Transport) do(p *sim.Proc, opcode uint32, nodeID, fh, offset uint64,
 	t.m.PCIe.MMIOWrite32(p, t.m.DPUMem, t.kickBar, 1, "vq-kick")
 	t.kick.TrySend(struct{}{})
 
-	for !pd.done {
-		pd.cond.Wait(p)
+	if !pd.done {
+		waitFrom := p.Now()
+		for !pd.done {
+			pd.cond.Wait(p)
+		}
+		t.po.Attr(p, obs.CompWait, "virtio.inflight", waitFrom, p.Now())
 	}
 
 	// Completion processing on the host.
@@ -245,6 +277,7 @@ func (t *Transport) do(p *sim.Proc, opcode uint32, nodeID, fh, offset uint64,
 	t.chainCond.Broadcast()
 	t.slotCond.Signal()
 	t.Completed++
+	s.End(p)
 	return out, pd.errno
 }
 
@@ -273,7 +306,13 @@ func (t *Transport) processOne(p *sim.Proc) {
 	link := t.m.PCIe
 	hm := t.m.HostMem
 
+	// The HAL span opens before the avail-entry read (the ring walk is part
+	// of the HAL's per-request work) and is linked under the submitter's
+	// span once the chain head identifies the request.
+	hs := t.o.Begin(p, "virtio.hal")
+
 	head := t.vq.DevReadAvailEntry(p, link) // DMA ②
+	hs.SetParent(t.inflight[head].span)
 
 	// Walk the descriptor chain entry by entry (DMAs ③…).
 	var descs []Desc
@@ -351,6 +390,7 @@ func (t *Transport) processOne(p *sim.Proc) {
 		pd.usedLen = ul
 		pd.cond.Signal()
 	})
+	hs.End(p)
 }
 
 // coalesce merges physically contiguous descriptors into single DMA runs.

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race torture check check-faults bench-json bench-compare
+.PHONY: build test vet race torture check check-faults bench-json bench-compare allocs
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,7 @@ check-faults:
 bench-json:
 	$(GO) run ./cmd/dpcbench -metrics-out BENCH_metrics.json -trace-out BENCH_trace.json -largeio-out BENCH_3.json
 	$(GO) run ./cmd/dpcbench -bench-out BENCH_5.json
+	$(GO) run ./cmd/dpcbench -smallio-out BENCH_6.json
 
 # Regression gate: re-run the large-I/O scenario and diff every metric
 # against the committed baseline — structural counts (ops, bytes, doorbells,
@@ -41,5 +42,11 @@ bench-json:
 # on drift, so perf regressions fail `make check` instead of landing.
 bench-compare:
 	$(GO) run ./cmd/dpcbench -baseline BENCH_3.json -compare
+	$(GO) run ./cmd/dpcbench -baseline BENCH_6.json -compare
 
-check: vet test race torture bench-compare
+# Allocs-per-op gate: the steady-state client data paths (buffered RMW
+# write, cached ReadInto) must stay at zero heap allocations per op.
+allocs:
+	$(GO) test -count=1 -run 'ZeroScratchAllocs|ZeroAllocs' .
+
+check: vet test race allocs torture bench-compare

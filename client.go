@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"dpc/internal/bufpool"
 	"dpc/internal/cache"
 	"dpc/internal/dispatch"
 	"dpc/internal/kvfs"
@@ -13,6 +14,38 @@ import (
 	"dpc/internal/obs"
 	"dpc/internal/sim"
 )
+
+// sizeTable is a service-wide view of each inode's published EOF, shared by
+// every client (and thus every File handle) of that service. File.Size alone
+// is per-handle state: a handle opened before another handle extended the
+// file would clamp buffered reads to its stale size and silently truncate
+// data that is already in the cache. The table is updated at every point a
+// client learns an authoritative size — create, lookup, setattr, extending
+// writes, truncate — and, when it has an entry, wins over the handle's
+// snapshot. Entries for unlinked files linger, which is harmless: both
+// backends allocate inode numbers monotonically, so a dead entry can never
+// be mistaken for a new file.
+type sizeTable struct {
+	m map[uint64]uint64
+}
+
+func newSizeTable() *sizeTable { return &sizeTable{m: map[uint64]uint64{}} }
+
+func (t *sizeTable) get(ino uint64) (uint64, bool) {
+	sz, ok := t.m[ino]
+	return sz, ok
+}
+
+// setMax merges a size observation: sizes only grow through it, so a lookup
+// response that raced a concurrent extend can never shrink the published EOF.
+func (t *sizeTable) setMax(ino, size uint64) {
+	if cur, ok := t.m[ino]; !ok || size > cur {
+		t.m[ino] = size
+	}
+}
+
+// set overwrites the entry: truncate is the one path where EOF shrinks.
+func (t *sizeTable) set(ino, size uint64) { t.m[ino] = size }
 
 // Errors returned by the client API.
 var (
@@ -60,6 +93,13 @@ type Client struct {
 	cacheHost   *cache.Host
 	ctl         *cache.Ctl
 
+	// sizes is the service-wide EOF table shared with every other client of
+	// the same service (see sizeTable); pool recycles hot-path scratch
+	// buffers (read-modify-write bases) so steady-state data ops allocate
+	// nothing.
+	sizes *sizeTable
+	pool  *bufpool.Pool
+
 	// window bounds how many commands a multi-page or multi-chunk operation
 	// keeps in flight at once. Seeded from the driver's InflightWindow;
 	// override per client with SetWindow.
@@ -75,9 +115,9 @@ type Client struct {
 }
 
 // newClient builds a client and caches its observability handles.
-func newClient(sys *System, bit uint8, host *cache.Host, ctl *cache.Ctl) *Client {
+func newClient(sys *System, bit uint8, host *cache.Host, ctl *cache.Ctl, sizes *sizeTable) *Client {
 	c := &Client{sys: sys, dispatchBit: bit, cacheHost: host, ctl: ctl,
-		window: sys.Driver.Window()}
+		sizes: sizes, pool: sys.pool, window: sys.Driver.Window()}
 	if o := sys.M.Obs; o.Enabled() {
 		c.o = o
 		c.hWrite = o.Histogram("client.write.latency")
@@ -195,6 +235,7 @@ func (c *Client) Create(p *sim.Proc, qid int, path string) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.sizes.setMax(a.Ino, a.Size)
 	return &File{c: c, Ino: a.Ino}, nil
 }
 
@@ -204,6 +245,7 @@ func (c *Client) Open(p *sim.Proc, qid int, path string) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.sizes.setMax(a.Ino, a.Size)
 	return &File{c: c, Ino: a.Ino, Size: a.Size}, nil
 }
 
@@ -237,6 +279,7 @@ func (c *Client) StatPath(p *sim.Proc, qid int, path string) (Stat, error) {
 	if err != nil {
 		return Stat{}, err
 	}
+	c.sizes.setMax(a.Ino, a.Size)
 	return Stat{Ino: a.Ino, Mode: a.Mode, Size: a.Size}, nil
 }
 
@@ -317,6 +360,7 @@ func (f *File) truncate(p *sim.Proc, qid int) error {
 		return err
 	}
 	f.Size = 0
+	f.c.sizes.set(f.Ino, 0)
 	return nil
 }
 
@@ -378,7 +422,7 @@ func (f *File) write(p *sim.Proc, qid int, off uint64, data []byte, direct bool)
 		return f.writeDirect(p, qid, off, data)
 	}
 	end := off + uint64(len(data))
-	eof := f.Size
+	eof := f.sizeNow()
 	if end > eof {
 		if err := c.setSize(p, qid, f.Ino, end); err != nil {
 			return err
@@ -388,8 +432,15 @@ func (f *File) write(p *sim.Proc, qid int, off uint64, data []byte, direct bool)
 	// Only the head and tail pages of the range can be partial; batch their
 	// read-modify-write bases in one pipelined fetch instead of two blocking
 	// round trips inside the loop. A missing page (hole or beyond the old
-	// EOF) modifies zeros, which is what the untouched buffer holds.
-	rmwLPNs := make([]uint64, 0, 2)
+	// EOF) modifies zeros, which is what the pooled buffer arrives holding.
+	// The bases live in fixed two-element arrays and pooled page buffers —
+	// no per-op slice, map, or scratch allocation on this path (regression
+	// test: TestBufferedWriteRMWZeroScratchAllocs).
+	var (
+		rmwLPNs [2]uint64
+		rmwBufs [2][]byte
+		nr      int
+	)
 	first := off / ps
 	last := (end - 1) / ps
 	headCov := ps - off%ps
@@ -397,20 +448,23 @@ func (f *File) write(p *sim.Proc, qid int, off uint64, data []byte, direct bool)
 		headCov = uint64(len(data))
 	}
 	if off%ps != 0 || headCov < ps {
-		rmwLPNs = append(rmwLPNs, first)
+		rmwLPNs[nr] = first
+		nr++
 	}
 	if last != first && end%ps != 0 {
-		rmwLPNs = append(rmwLPNs, last)
+		rmwLPNs[nr] = last
+		nr++
 	}
-	rmwBase := make(map[uint64][]byte, len(rmwLPNs))
-	if len(rmwLPNs) > 0 {
-		reqs := make([]pageFetch, len(rmwLPNs))
-		for i, lpn := range rmwLPNs {
-			buf := make([]byte, ps)
-			rmwBase[lpn] = buf
-			reqs[i] = pageFetch{lpn: lpn, dst: buf}
+	if nr > 0 {
+		var reqs [2]pageFetch
+		for i := 0; i < nr; i++ {
+			rmwBufs[i] = c.pool.Get(int(ps))
+			reqs[i] = pageFetch{lpn: rmwLPNs[i], dst: rmwBufs[i]}
 		}
-		if err := c.fetchPages(p, qid, f.Ino, reqs); err != nil {
+		if err := c.fetchPages(p, qid, f.Ino, reqs[:nr]); err != nil {
+			for i := 0; i < nr; i++ {
+				c.pool.Put(rmwBufs[i])
+			}
 			return err
 		}
 	}
@@ -425,13 +479,24 @@ func (f *File) write(p *sim.Proc, qid int, off uint64, data []byte, direct bool)
 		if po == 0 && n == ps {
 			page = data[done : done+n]
 		} else {
-			page = rmwBase[lpn]
+			// A partial page is by construction the first or last of the
+			// range, so it is one of the (at most two) registered bases.
+			page = rmwBufs[0]
+			if nr > 1 && lpn == rmwLPNs[1] {
+				page = rmwBufs[1]
+			}
 			copy(page[po:], data[done:done+n])
 		}
 		if err := c.writePageCached(p, qid, f.Ino, lpn, page, eof); err != nil {
+			for i := 0; i < nr; i++ {
+				c.pool.Put(rmwBufs[i])
+			}
 			return err
 		}
 		done += n
+	}
+	for i := 0; i < nr; i++ {
+		c.pool.Put(rmwBufs[i])
 	}
 	if end > f.Size {
 		f.Size = end
@@ -447,7 +512,21 @@ func (c *Client) setSize(p *sim.Proc, qid int, ino, size uint64) error {
 		Header: hdr.Marshal(),
 		RHLen:  1,
 	})
-	return statusErr(comp.Status)
+	if err := statusErr(comp.Status); err != nil {
+		return err
+	}
+	c.sizes.setMax(ino, size)
+	return nil
+}
+
+// sizeNow is the file's effective EOF: the service-wide table (which sees
+// extends made through other handles) when it has an entry, else the
+// handle's own snapshot.
+func (f *File) sizeNow() uint64 {
+	if sz, ok := f.c.sizes.get(f.Ino); ok {
+		return sz
+	}
+	return f.Size
 }
 
 func (f *File) writeDirect(p *sim.Proc, qid int, off uint64, data []byte) error {
@@ -522,8 +601,14 @@ func (f *File) writeDirect(p *sim.Proc, qid int, off uint64, data []byte) error 
 			done += n
 		}
 	}
-	if end := off + uint64(len(data)); end > f.Size {
-		f.Size = end
+	if len(data) > 0 {
+		end := off + uint64(len(data))
+		// The backend learned the new EOF from the write itself; publish it
+		// so other handles' buffered reads are not clamped to a stale size.
+		c.sizes.setMax(f.Ino, end)
+		if end > f.Size {
+			f.Size = end
+		}
 	}
 	return nil
 }
@@ -588,14 +673,73 @@ func (f *File) read(p *sim.Proc, qid int, off uint64, n int, direct bool) ([]byt
 	if direct || ps == 0 || n <= 0 {
 		return f.readDirect(p, qid, off, n)
 	}
-	if off >= f.Size {
+	eof := f.sizeNow()
+	if off >= eof {
 		return nil, nil
 	}
-	if max := f.Size - off; uint64(n) > max {
+	if max := eof - off; uint64(n) > max {
 		n = int(max)
 	}
 	out := make([]byte, n)
-	reqs := make([]pageFetch, 0, (uint64(n)+ps-1)/ps+1)
+	if err := f.readBuffered(p, qid, off, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadInto is Read without the per-call result allocation: up to len(dst)
+// bytes at off land directly in dst (direct reads DMA — or inline-deliver —
+// straight into it) and the byte count is returned. Like Read, buffered
+// results are clamped to the effective EOF and holes read as zeros; dst
+// bytes past the returned count, or after an error, are unspecified.
+func (f *File) ReadInto(p *sim.Proc, qid int, off uint64, dst []byte, direct bool) (int, error) {
+	c := f.c
+	s := c.o.Begin(p, "client.read")
+	start := p.Now()
+	got, err := f.readInto(p, qid, off, dst, direct)
+	c.hRead.Observe(time.Duration(p.Now() - start))
+	s.End(p)
+	return got, err
+}
+
+func (f *File) readInto(p *sim.Proc, qid int, off uint64, dst []byte, direct bool) (int, error) {
+	c := f.c
+	ps := uint64(0)
+	if c.cacheHost != nil {
+		ps = uint64(c.cacheHost.L.PageSize)
+	}
+	if direct || ps == 0 || len(dst) == 0 {
+		return f.readDirectInto(p, qid, off, dst)
+	}
+	eof := f.sizeNow()
+	if off >= eof {
+		return 0, nil
+	}
+	n := len(dst)
+	if max := eof - off; uint64(n) > max {
+		n = int(max)
+	}
+	dst = dst[:n]
+	// Holes leave their range of dst untouched, so it must start zeroed
+	// (Read gets this for free from make).
+	for i := range dst {
+		dst[i] = 0
+	}
+	if err := f.readBuffered(p, qid, off, dst); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// readBuffered fills dst — already clamped to EOF and zeroed — through the
+// hybrid cache. The request array is stack-sized for reads spanning up to
+// four pages, the common case, so cache-hit reads allocate nothing.
+func (f *File) readBuffered(p *sim.Proc, qid int, off uint64, dst []byte) error {
+	c := f.c
+	ps := uint64(c.cacheHost.L.PageSize)
+	n := len(dst)
+	var reqArr [4]pageFetch
+	reqs := reqArr[:0]
 	for done := 0; done < n; {
 		lpn := (off + uint64(done)) / ps
 		po := (off + uint64(done)) % ps
@@ -603,48 +747,65 @@ func (f *File) read(p *sim.Proc, qid int, off uint64, n int, direct bool) ([]byt
 		if k > n-done {
 			k = n - done
 		}
-		reqs = append(reqs, pageFetch{lpn: lpn, po: int(po), dst: out[done : done+k]})
+		reqs = append(reqs, pageFetch{lpn: lpn, po: int(po), dst: dst[done : done+k]})
 		done += k
 	}
-	if err := c.fetchPages(p, qid, f.Ino, reqs); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return c.fetchPages(p, qid, f.Ino, reqs)
 }
 
 func (f *File) readDirect(p *sim.Proc, qid int, off uint64, n int) ([]byte, error) {
+	if n <= 0 {
+		// Flush-before-read still applies to an empty read.
+		_, err := f.readDirectInto(p, qid, off, nil)
+		return nil, err
+	}
+	out := make([]byte, n)
+	got, err := f.readDirectInto(p, qid, off, out)
+	if err != nil {
+		return nil, err
+	}
+	if got == 0 {
+		return nil, nil
+	}
+	return out[:got], nil
+}
+
+func (f *File) readDirectInto(p *sim.Proc, qid int, off uint64, out []byte) (int, error) {
 	c := f.c
 	// O_DIRECT semantics: dirty buffered pages must reach the backend before
 	// a direct read, or the reader sees pre-write data.
 	if c.cacheHost != nil && c.cacheHost.HasDirty(p, f.Ino) {
 		if err := f.Sync(p, qid); err != nil {
-			return nil, err
+			return 0, err
 		}
 	}
+	n := len(out)
 	if n <= 0 {
-		return nil, nil
+		return 0, nil
 	}
 	// Pipeline the MaxIO chunks on the caller's queue under the in-flight
-	// window, one doorbell per burst. Chunks retire in submission order into
-	// a pre-sized buffer; the first short chunk marks EOF, after which the
-	// remaining in-flight chunks (all past it) are drained and discarded.
+	// window, one doorbell per burst. Each chunk's ReadInto aims the IRQ-side
+	// copy (or inline delivery) straight at its slice of out, so retiring a
+	// completion moves no bytes. Chunks retire in submission order; the first
+	// short chunk marks EOF, after which the remaining in-flight chunks (all
+	// past it) are drained and discarded.
 	maxIO := c.sys.Driver.MaxIO()
 	w := c.window
 	if w < 1 {
 		w = 1
 	}
-	out := make([]byte, n)
 	type chunk struct{ off, want int }
 	var (
-		pends  []*nvmefs.Pending
-		chunks []chunk
-		burst  []nvmefs.Submission
-		next   int
-		got    int
-		short  bool
+		pends    []*nvmefs.Pending
+		chunks   []chunk
+		burst    []nvmefs.Submission
+		next     int
+		got      int
+		short    bool
+		firstErr error
 	)
 	for next < n || len(pends) > 0 {
-		if !short && next < n && len(pends) < w {
+		if firstErr == nil && !short && next < n && len(pends) < w {
 			burst = burst[:0]
 			for next < n && len(pends)+len(burst) < w {
 				want := n - next
@@ -653,10 +814,11 @@ func (f *File) readDirect(p *sim.Proc, qid int, off uint64, n int) ([]byte, erro
 				}
 				hdr := dispatch.ReqHeader{Ino: f.Ino, Off: off + uint64(next), Len: uint32(want)}
 				burst = append(burst, nvmefs.Submission{
-					FileOp:  nvme.FileOpRead,
-					Header:  hdr.Marshal(),
-					RHLen:   1,
-					ReadLen: want,
+					FileOp:   nvme.FileOpRead,
+					Header:   hdr.Marshal(),
+					RHLen:    1,
+					ReadLen:  want,
+					ReadInto: out[next : next+want],
 				})
 				chunks = append(chunks, chunk{next, want})
 				next = next + want
@@ -669,22 +831,40 @@ func (f *File) readDirect(p *sim.Proc, qid int, off uint64, n int) ([]byte, erro
 		comp := pends[0].Wait(p)
 		ck := chunks[0]
 		pends, chunks = pends[1:], chunks[1:]
-		if err := statusErr(comp.Status); err != nil {
-			return nil, err
-		}
 		if short {
+			// EOF wins over anything a later chunk reports: chunks retire in
+			// submission order, so every chunk retiring after the first short
+			// one reads a range entirely past the EOF that chunk observed.
+			// Neither its payload nor its failure (a straggler fault) can
+			// change the bytes below EOF already assembled in out.
 			continue
 		}
-		copy(out[ck.off:], comp.Data)
+		if err := statusErr(comp.Status); err != nil {
+			// A failure below EOF makes the result incomplete. Record the
+			// first one, stop submitting, and keep draining what is already
+			// in flight (mirroring writeDirect) so no completion — and no
+			// late error that deserves at least its retry accounting — is
+			// abandoned mid-air.
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if firstErr != nil {
+			continue // draining after a failure; out is already condemned
+		}
+		if len(comp.Data) > 0 {
+			copy(out[ck.off:], comp.Data) // self-copy no-op when ReadInto landed it
+		}
 		got = ck.off + len(comp.Data)
 		if len(comp.Data) < ck.want {
 			short = true // EOF
 		}
 	}
-	if got == 0 {
-		return nil, nil
+	if firstErr != nil {
+		return 0, firstErr
 	}
-	return out[:got], nil
+	return got, nil
 }
 
 // pageFetch is one page's worth of a multi-page cached operation: the page's
@@ -706,19 +886,22 @@ func (r *pageFetch) fill(page []byte) {
 // pageMiss tracks one cache miss through the fill protocol: up to three
 // FlagFillCache attempts (each re-probing host memory afterwards), then an
 // uncached fallback read if the filled entry keeps getting evicted first.
+// It names its request by index into the caller's slice — not by pointer —
+// so a stack-allocated request array (the RMW and small-read paths) never
+// escapes to the heap through the miss queue.
 type pageMiss struct {
-	req      *pageFetch
+	idx      int
 	attempt  int
 	fallback bool
 	pend     *nvmefs.Pending
 }
 
-func (c *Client) missSubmission(ino uint64, ms *pageMiss, ps uint64) nvmefs.Submission {
-	if ms.fallback {
-		hdr := dispatch.ReqHeader{Ino: ino, Off: ms.req.lpn * ps, Len: uint32(ps)}
+func (c *Client) missSubmission(ino, lpn uint64, fallback bool, ps uint64) nvmefs.Submission {
+	if fallback {
+		hdr := dispatch.ReqHeader{Ino: ino, Off: lpn * ps, Len: uint32(ps)}
 		return nvmefs.Submission{FileOp: nvme.FileOpRead, Header: hdr.Marshal(), RHLen: 1, ReadLen: int(ps)}
 	}
-	hdr := dispatch.ReqHeader{Ino: ino, Off: ms.req.lpn * ps, Len: uint32(ps), Flags: dispatch.FlagFillCache}
+	hdr := dispatch.ReqHeader{Ino: ino, Off: lpn * ps, Len: uint32(ps), Flags: dispatch.FlagFillCache}
 	return nvmefs.Submission{FileOp: nvme.FileOpRead, Header: hdr.Marshal(), RHLen: 8, ReadLen: int(ps)}
 }
 
@@ -731,14 +914,16 @@ func (c *Client) missSubmission(ino uint64, ms *pageMiss, ps uint64) nvmefs.Subm
 // moving regardless of wait order.
 func (c *Client) fetchPages(p *sim.Proc, qid int, ino uint64, reqs []pageFetch) error {
 	ps := uint64(c.cacheHost.L.PageSize)
-	queue := make([]*pageMiss, 0, len(reqs))
+	// Hits copy straight from host memory into each request's dst
+	// (LookupInto: no intermediate page slice); the miss queue is only
+	// materialized when a miss actually occurs, so the all-hit fast path
+	// allocates nothing.
+	var queue []pageMiss
 	for i := range reqs {
-		r := &reqs[i]
-		if data, ok := c.cacheHost.Lookup(p, ino, r.lpn); ok {
-			r.fill(data)
+		if c.cacheHost.LookupInto(p, ino, reqs[i].lpn, reqs[i].po, reqs[i].dst) {
 			continue
 		}
-		queue = append(queue, &pageMiss{req: r})
+		queue = append(queue, pageMiss{idx: i})
 	}
 	if len(queue) == 0 {
 		return nil
@@ -751,8 +936,8 @@ func (c *Client) fetchPages(p *sim.Proc, qid int, ino uint64, reqs []pageFetch) 
 	if stripes > w {
 		stripes = w
 	}
-	inflight := make([]*pageMiss, 0, w)
-	groups := make([][]*pageMiss, stripes)
+	inflight := make([]pageMiss, 0, w)
+	groups := make([][]pageMiss, stripes)
 	seq := 0
 	for len(queue) > 0 || len(inflight) > 0 {
 		if len(queue) > 0 && len(inflight) < w {
@@ -777,12 +962,12 @@ func (c *Client) fetchPages(p *sim.Proc, qid int, ino uint64, reqs []pageFetch) 
 					continue
 				}
 				subs := make([]nvmefs.Submission, len(g))
-				for i, ms := range g {
-					subs[i] = c.missSubmission(ino, ms, ps)
+				for i := range g {
+					subs[i] = c.missSubmission(ino, reqs[g[i].idx].lpn, g[i].fallback, ps)
 				}
 				pends := c.submitBatch(p, (qid+s)%c.sys.Driver.Queues(), subs)
-				for i, ms := range g {
-					ms.pend = pends[i]
+				for i := range g {
+					g[i].pend = pends[i]
 				}
 				inflight = append(inflight, g...)
 			}
@@ -790,6 +975,7 @@ func (c *Client) fetchPages(p *sim.Proc, qid int, ino uint64, reqs []pageFetch) 
 		ms := inflight[0]
 		inflight = inflight[1:]
 		comp := ms.pend.Wait(p)
+		req := &reqs[ms.idx]
 		if err := statusErr(comp.Status); err != nil {
 			if errors.Is(err, ErrNotFound) {
 				continue // hole or beyond EOF: dst keeps its zeros
@@ -797,19 +983,18 @@ func (c *Client) fetchPages(p *sim.Proc, qid int, ino uint64, reqs []pageFetch) 
 			return err
 		}
 		if ms.fallback {
-			ms.req.fill(comp.Data)
+			req.fill(comp.Data)
 			continue
 		}
 		if filled, _ := dispatch.ParseFillHeader(comp.Header); !filled {
 			// The DPU could not fill the bucket; data came back inline.
-			ms.req.fill(comp.Data)
+			req.fill(comp.Data)
 			continue
 		}
 		// Filled: re-read host memory (covers the rare race where the entry
 		// is evicted before we get to it — retry the fill, then fall back to
 		// an uncached read).
-		if data, ok := c.cacheHost.Lookup(p, ino, ms.req.lpn); ok {
-			ms.req.fill(data)
+		if c.cacheHost.LookupInto(p, ino, req.lpn, req.po, req.dst) {
 			continue
 		}
 		ms.attempt++

@@ -19,7 +19,10 @@ import (
 // cascading third-decimal shifts.
 
 // exactKeys are metric-name suffixes compared exactly.
-var exactKeys = []string{"window", "ops", "bytes", "op_bytes", "mmios", "dmas", "spans", "anomalies"}
+var exactKeys = []string{
+	"window", "ops", "bytes", "op_bytes", "mmios", "dmas", "spans", "anomalies",
+	"pios", "inline_max", "inline_writes", "inline_reads", "dma_setup_ns",
+}
 
 // relTolerance is the allowed relative drift for timing-derived metrics.
 const relTolerance = 0.05
@@ -123,7 +126,19 @@ func runCompare(baselinePath string) error {
 		return fmt.Errorf("parse baseline %s: %w", baselinePath, err)
 	}
 
-	report := buildLargeIOReport()
+	// Dispatch on the baseline's workload tag so one gate covers both the
+	// large-I/O (BENCH_3/BENCH_5) and the small-op (BENCH_6) baselines.
+	var report any
+	workload := ""
+	if doc, ok := baseDoc.(map[string]any); ok {
+		workload, _ = doc["workload"].(string)
+	}
+	smallOp := workload == "small-op-direct"
+	if smallOp {
+		report = buildSmallIOReport()
+	} else {
+		report = buildLargeIOReport()
+	}
 	curRaw, err := json.Marshal(report)
 	if err != nil {
 		return err
@@ -136,11 +151,15 @@ func runCompare(baselinePath string) error {
 	baseline, current := map[string]any{}, map[string]any{}
 	flatten("", baseDoc, baseline)
 	flatten("", curDoc, current)
-	// The baseline may be a BENCH_5-style file carrying an attribution
-	// block; the compare gate covers the perf metrics, which re-run here.
-	for k := range baseline {
-		if strings.HasPrefix(k, "attribution.") {
-			delete(baseline, k)
+	if !smallOp {
+		// The baseline may be a BENCH_5-style file carrying a profiled
+		// attribution block the large-I/O re-run does not reproduce; the
+		// gate covers the perf metrics. The small-op attribution pair is
+		// part of its own workload and stays gated.
+		for k := range baseline {
+			if strings.HasPrefix(k, "attribution.") {
+				delete(baseline, k)
+			}
 		}
 	}
 

@@ -15,6 +15,10 @@
 //	                         # run the sequential large-I/O workload, serial
 //	                         # vs pipelined submission, and write the
 //	                         # doorbell/throughput comparison as JSON
+//	dpcbench -smallio-out s.json
+//	                         # run the small-op direct workload, DMA vs
+//	                         # inline submission, and write the latency/DMA
+//	                         # comparison as JSON
 //	dpcbench -prof-out p.json [-folded-out f.txt]
 //	                         # run the reference workload under the
 //	                         # critical-path profiler, print attribution
@@ -50,6 +54,7 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "run the instrumented reference workload, write its metrics snapshot (JSON) to this file and exit")
 		traceOut   = flag.String("trace-out", "", "with -metrics-out: also write the span tree as Perfetto/Chrome trace JSON to this file")
 		largeioOut = flag.String("largeio-out", "", "run the sequential large-I/O workload (serial vs pipelined submission), write its JSON report to this file and exit")
+		smallioOut = flag.String("smallio-out", "", "run the small-op direct workload (DMA vs inline path), write its JSON report to this file and exit")
 		faults     = flag.Bool("faults", false, "run the reference workload under the canned fault schedule, report recovery counters and exit")
 
 		profOut        = flag.String("prof-out", "", "run the reference workload with critical-path profiling, print attribution tables and write the JSON report to this file")
@@ -70,7 +75,7 @@ func main() {
 		return
 	}
 
-	if *metricsOut != "" || *largeioOut != "" || *profOut != "" || *benchOut != "" || *compare {
+	if *metricsOut != "" || *largeioOut != "" || *smallioOut != "" || *profOut != "" || *benchOut != "" || *compare {
 		if *metricsOut != "" {
 			if err := runMetricsScenario(*metricsOut, *traceOut); err != nil {
 				fmt.Fprintln(os.Stderr, "metrics scenario:", err)
@@ -80,6 +85,12 @@ func main() {
 		if *largeioOut != "" {
 			if err := runLargeIOScenario(*largeioOut); err != nil {
 				fmt.Fprintln(os.Stderr, "largeio scenario:", err)
+				os.Exit(1)
+			}
+		}
+		if *smallioOut != "" {
+			if err := runSmallIOScenario(*smallioOut); err != nil {
+				fmt.Fprintln(os.Stderr, "smallio scenario:", err)
 				os.Exit(1)
 			}
 		}

@@ -31,6 +31,7 @@ package dpc
 import (
 	"time"
 
+	"dpc/internal/bufpool"
 	"dpc/internal/cache"
 	"dpc/internal/dfs"
 	"dpc/internal/dispatch"
@@ -128,13 +129,24 @@ type System struct {
 	dfsSvc     *dispatch.Service
 	dfsHost    *cache.Host
 
+	// Per-service shared inode-size tables: every client of a service sees
+	// the same view of each inode's published EOF, so a handle on one client
+	// never clamps reads to a size another handle has already extended past.
+	kvfsSizes *sizeTable
+	dfsSizes  *sizeTable
+
+	// pool recycles data-path scratch buffers (RMW staging, direct-I/O
+	// chunk landing) across every client of the system.
+	pool *bufpool.Pool
+
 	mounted bool
 }
 
 // New assembles a system.
 func New(opts Options) *System {
 	m := model.NewMachine(opts.Model)
-	sys := &System{Opts: opts, M: m}
+	sys := &System{Opts: opts, M: m,
+		kvfsSizes: newSizeTable(), dfsSizes: newSizeTable(), pool: bufpool.New()}
 
 	if opts.EnableKVFS {
 		sys.KVCluster = kv.NewCluster(m.Eng, m.Net, opts.KV)
@@ -240,7 +252,7 @@ func (sys *System) KVFSClient() *Client {
 	if sys.kvfsSvc == nil {
 		panic("dpc: KVFS not enabled")
 	}
-	return newClient(sys, 0, sys.kvfsHost, sys.kvfsSvc.Ctl)
+	return newClient(sys, 0, sys.kvfsHost, sys.kvfsSvc.Ctl, sys.kvfsSizes)
 }
 
 // DFSClient returns a client of the distributed file service.
@@ -248,7 +260,7 @@ func (sys *System) DFSClient() *Client {
 	if sys.dfsSvc == nil {
 		panic("dpc: DFS not enabled")
 	}
-	return newClient(sys, 1, sys.dfsHost, sys.dfsSvc.Ctl)
+	return newClient(sys, 1, sys.dfsHost, sys.dfsSvc.Ctl, sys.dfsSizes)
 }
 
 // buildTransform assembles the optional block-transform chain: compression

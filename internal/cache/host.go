@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"fmt"
 	"time"
 
 	"dpc/internal/mem"
@@ -103,6 +104,45 @@ func (h *Host) Lookup(p *sim.Proc, ino, lpn uint64) ([]byte, bool) {
 	h.Hits.Inc()
 	h.oHits.Inc()
 	return data, true
+}
+
+// LookupInto is Lookup restricted to dst's worth of bytes starting at page
+// offset po, copied into the caller's buffer: the zero-allocation read path.
+// Same locking, accounting and CLOCK semantics as Lookup.
+func (h *Host) LookupInto(p *sim.Proc, ino, lpn uint64, po int, dst []byte) bool {
+	h.m.HostExec(p, h.m.Cfg.Costs.HostCacheLookup)
+	if po < 0 || po+len(dst) > h.L.PageSize {
+		panic(fmt.Sprintf("cache: LookupInto range [%d,%d) of page size %d", po, po+len(dst), h.L.PageSize))
+	}
+	i := h.findEntry(ino, lpn)
+	if i < 0 {
+		h.Misses.Inc()
+		h.oMisses.Inc()
+		return false
+	}
+	a := h.L.EntryAddr(i)
+	if !h.m.HostMem.CompareAndSwap32(a+offLock, LockNone, LockRead) {
+		h.Misses.Inc()
+		h.oMisses.Inc()
+		return false
+	}
+	e := ReadEntry(h.m.HostMem, h.L, i)
+	if (e.Status != StatusClean && e.Status != StatusDirty) || e.Ino != ino || e.LPN != lpn {
+		h.m.HostMem.PutUint32(a+offLock, LockNone)
+		h.Misses.Inc()
+		h.oMisses.Inc()
+		return false
+	}
+	copy(dst, h.m.HostMem.Slice(h.L.PageAddr(i)+mem.Addr(po), len(dst)))
+	// Charged at page granularity, exactly like Lookup: the calibrated cost
+	// covers the locked page copy-out, and keeping the two paths identical
+	// keeps cached-read timing byte-stable whichever one the client uses.
+	h.m.HostExec(p, h.m.Cfg.Costs.HostCopyPerPage*int64((h.L.PageSize+4095)/4096))
+	h.m.HostMem.Slice(a+offRef, 1)[0] = 1
+	h.m.HostMem.PutUint32(a+offLock, LockNone)
+	h.Hits.Inc()
+	h.oHits.Inc()
+	return true
 }
 
 // WritePage caches a full page write for <ino, lpn>, marking it dirty. It

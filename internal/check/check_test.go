@@ -222,3 +222,59 @@ func TestFaultWorldRejectsBaselines(t *testing.T) {
 		t.Fatal("localfs accepted a fault schedule it cannot inject")
 	}
 }
+
+// TestInlineBoundarySizesDifferential drives handcrafted writes and reads
+// whose payload sizes bracket every interesting inline boundary — 0-adjacent,
+// the 64-byte header unit, the adaptive cutover's neighborhood, InlineMax
+// itself and one byte past it, plus a small write straddling a page boundary
+// — through the inline-enabled stack and checks every op against the oracle.
+// Each size runs in both I/O modes: direct exercises the SQE-inline and
+// enlarged-CQE paths, buffered the write-through and fill paths.
+func TestInlineBoundarySizesDifferential(t *testing.T) {
+	sizes := []int{1, 63, 64, 65, 256, 388, 389, 390, 511, 512, 513, 1024}
+	var trace []Op
+	idx := 0
+	add := func(op Op) {
+		op.Idx = idx
+		idx++
+		trace = append(trace, op)
+	}
+	add(Op{Kind: OpCreate, Path: "/f0"})
+	for _, direct := range []bool{true, false} {
+		for _, n := range sizes {
+			add(Op{Kind: OpWrite, Path: "/f0", Off: 0, Len: n, Direct: direct})
+			add(Op{Kind: OpRead, Path: "/f0", Off: 0, Len: n + 64, Direct: direct})
+		}
+		// Page-crossing small writes: a sub-cutover payload that straddles
+		// the 4 KiB page boundary, then one that straddles it unaligned.
+		add(Op{Kind: OpWrite, Path: "/f0", Off: 4090, Len: 12, Direct: direct})
+		add(Op{Kind: OpRead, Path: "/f0", Off: 4080, Len: 40, Direct: direct})
+		add(Op{Kind: OpWrite, Path: "/f0", Off: 8191, Len: 2, Direct: direct})
+		add(Op{Kind: OpRead, Path: "/f0", Off: 8180, Len: 30, Direct: direct})
+	}
+	fail, err := RunTrace("kvfs-inline", 0, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fail != nil {
+		t.Fatalf("inline stack diverged from oracle: %v", fail)
+	}
+}
+
+// TestInlineTortureMatchesDMATorture: the same seed drives the same random
+// trace through kvfs-cache (DMA only) and kvfs-inline; both must match the
+// oracle — the inline fast path is a transport optimization with no
+// observable semantics.
+func TestInlineTortureMatchesDMATorture(t *testing.T) {
+	for _, stack := range []string{"kvfs-cache", "kvfs-inline"} {
+		w, err := NewWorld(stack)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace := GenTrace(7, 300, w.Caps())
+		if fail := runTraceOn(w, 7, trace); fail != nil {
+			t.Fatalf("%s diverged: %v", stack, fail)
+		}
+		w.Close()
+	}
+}

@@ -107,18 +107,28 @@ func (w *World) InjectLegacyFlushBug() bool {
 	return true
 }
 
-// StackNames lists every stack the harness can instantiate.
+// StackNames lists every stack the harness can instantiate. kvfs-inline is
+// the kvfs-cache stack with the inline small-I/O fast path enabled
+// (InlineMax 512): the differential suite must not be able to tell it apart
+// from the DMA-only stacks.
 func StackNames() []string {
-	return []string{"kvfs-direct", "kvfs-cache", "localfs", "dfs-std", "dfs-opt", "dfs-dpc"}
+	return []string{"kvfs-direct", "kvfs-cache", "kvfs-inline", "localfs", "dfs-std", "dfs-opt", "dfs-dpc"}
 }
+
+// inlineMaxForTorture is the InlineMax used by the kvfs-inline stack; 512
+// keeps the adaptive cutover strictly inside it so torture traces exercise
+// both sides of the boundary.
+const inlineMaxForTorture = 512
 
 // NewWorld instantiates a fresh stack by name.
 func NewWorld(name string) (*World, error) {
 	switch name {
 	case "kvfs-direct":
-		return newKVFSWorld(name, 0, nil, nil), nil
+		return newKVFSWorld(name, 0, 0, nil, nil), nil
 	case "kvfs-cache":
-		return newKVFSWorld(name, 128, nil, nil), nil
+		return newKVFSWorld(name, 128, 0, nil, nil), nil
+	case "kvfs-inline":
+		return newKVFSWorld(name, 128, inlineMaxForTorture, nil, nil), nil
 	case "localfs":
 		return newLocalWorld(name), nil
 	case "dfs-std":
@@ -135,7 +145,7 @@ func NewWorld(name string) (*World, error) {
 // FaultStackNames lists the stacks that support fault injection (the dpc
 // data-path stacks; the baselines have no injector hooks).
 func FaultStackNames() []string {
-	return []string{"kvfs-direct", "kvfs-cache", "dfs-dpc"}
+	return []string{"kvfs-direct", "kvfs-cache", "kvfs-inline", "dfs-dpc"}
 }
 
 // NewFaultWorld instantiates a stack with the deterministic torture fault
@@ -145,9 +155,11 @@ func NewFaultWorld(name string, seed int64) (*World, error) {
 	rules := fault.TortureSchedule(seed)
 	switch name {
 	case "kvfs-direct":
-		return newKVFSWorld(name, 0, rules, nil), nil
+		return newKVFSWorld(name, 0, 0, rules, nil), nil
 	case "kvfs-cache":
-		return newKVFSWorld(name, 128, rules, nil), nil
+		return newKVFSWorld(name, 128, 0, rules, nil), nil
+	case "kvfs-inline":
+		return newKVFSWorld(name, 128, inlineMaxForTorture, rules, nil), nil
 	case "dfs-dpc":
 		return newDFSDPCWorld(name, rules, nil), nil
 	default:
@@ -174,9 +186,11 @@ func NewObservedFaultWorld(name string, seed int64, o *obs.Obs) (*World, error) 
 func newObserved(name string, rules []fault.Rule, o *obs.Obs) (*World, error) {
 	switch name {
 	case "kvfs-direct":
-		return newKVFSWorld(name, 0, rules, o), nil
+		return newKVFSWorld(name, 0, 0, rules, o), nil
 	case "kvfs-cache":
-		return newKVFSWorld(name, 128, rules, o), nil
+		return newKVFSWorld(name, 128, 0, rules, o), nil
+	case "kvfs-inline":
+		return newKVFSWorld(name, 128, inlineMaxForTorture, rules, o), nil
 	case "dfs-dpc":
 		return newDFSDPCWorld(name, rules, o), nil
 	default:
@@ -202,12 +216,13 @@ func driveLoop(sys *dpc.System, fn func(p *sim.Proc)) {
 
 // ---- dpc/KVFS worlds (direct and hybrid-cache) ----
 
-func newKVFSWorld(name string, cachePages int, faults []fault.Rule, o *obs.Obs) *World {
+func newKVFSWorld(name string, cachePages, inlineMax int, faults []fault.Rule, o *obs.Obs) *World {
 	opts := dpc.DefaultOptions()
 	opts.Model.HostMemMB = 192
 	opts.Model.DPUMemMB = 8
 	opts.Model.Obs = o
 	opts.CachePages = cachePages
+	opts.NvmeFS.InlineMax = inlineMax
 	// A deliberately small cache (128 pages, 16 buckets) keeps eviction and
 	// write-through pressure high during torture runs.
 	opts.CacheBuckets = 16

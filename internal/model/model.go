@@ -214,6 +214,7 @@ func (m *Machine) AttachObs(o *obs.Obs) {
 	d2h := o.Counter("pcie.link.dma_bytes_d2h")
 	mmios := o.Counter("pcie.link.mmios")
 	atomics := o.Counter("pcie.link.atomics")
+	var pios, pioBytes *obs.Counter
 	m.PCIe.Subscribe(func(ev pcie.Event) {
 		switch ev.Op {
 		case pcie.OpDMA:
@@ -227,6 +228,16 @@ func (m *Machine) AttachObs(o *obs.Obs) {
 		case pcie.OpMMIO:
 			mmios.Inc()
 			o.Annotate(ev.Proc, "mmio:"+ev.Label, int64(ev.Bytes))
+		case pcie.OpPIO:
+			// Registered lazily on the first PIO so snapshots of runs that
+			// never use the inline path keep their historical key set.
+			if pios == nil {
+				pios = o.Counter("pcie.link.pios")
+				pioBytes = o.Counter("pcie.link.pio_bytes")
+			}
+			pios.Inc()
+			pioBytes.Add(int64(ev.Bytes))
+			o.Annotate(ev.Proc, "pio:"+ev.Label, int64(ev.Bytes))
 		default:
 			atomics.Inc()
 			o.Annotate(ev.Proc, "atomic:"+ev.Label, int64(ev.Bytes))

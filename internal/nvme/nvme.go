@@ -49,9 +49,20 @@ const (
 )
 
 // PSDT transfer-structure selectors (DW0 bits 14/15).
+//
+// nvme-fs repurposes the non-PRP encoding for the inline small-I/O path
+// (NVMe inline/CMB style): PSDTInline on the write side means the write
+// buffer (header + payload) was staged by PIO into the per-queue
+// device-memory inline window at this command's SQ slot, so the TGT consumes
+// it without PRP-fetch or data-in DMAs. PSDTInline on the read side means
+// the response is returned through the enlarged-CQE window in host memory —
+// one contiguous [CQE | header | data] DMA replaces the separate data-out
+// DMA and CQE ring write. Either side may carry a null PRP when its inline
+// bit is set.
 const (
-	PSDTPRP = 0
-	PSDTSGL = 1
+	PSDTPRP    = 0
+	PSDTSGL    = 1
+	PSDTInline = PSDTSGL // alias: the '1' encoding carries inline data in nvme-fs
 )
 
 // File operation sub-opcodes carried in DW1.
@@ -164,10 +175,10 @@ func (s *SQE) Validate() error {
 	if uint32(s.RHLen) > s.ReadLen {
 		return fmt.Errorf("nvme: read header %d exceeds read len %d", s.RHLen, s.ReadLen)
 	}
-	if s.WriteLen > 0 && s.PRPWrite[0] == 0 {
+	if s.WriteLen > 0 && s.PRPWrite[0] == 0 && s.PSDTWrite != PSDTInline {
 		return fmt.Errorf("nvme: write len %d with null PRP", s.WriteLen)
 	}
-	if s.ReadLen > 0 && s.PRPRead[0] == 0 {
+	if s.ReadLen > 0 && s.PRPRead[0] == 0 && s.PSDTRead != PSDTInline {
 		return fmt.Errorf("nvme: read len %d with null PRP", s.ReadLen)
 	}
 	return nil

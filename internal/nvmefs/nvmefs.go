@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"dpc/internal/bufpool"
 	"dpc/internal/fault"
 	"dpc/internal/mem"
 	"dpc/internal/model"
@@ -53,6 +54,16 @@ type Config struct {
 	SlotsPerQ int // concurrent request buffers per queue
 	MaxIO     int // largest payload per request
 	RHCap     int // response header capacity per request
+	// InlineMax enables the inline small-I/O fast path and caps the payload
+	// it may carry. When > 0, small write payloads ride inside the per-queue
+	// inline window next to the SQE (PIO-staged, no PRP-fetch or data-in
+	// DMA) and small read responses return through the enlarged-CQE window
+	// (one contiguous [CQE|header|data] DMA instead of data-out + CQE). The
+	// write-side DMA↔inline cutover adapts per queue from observed costs.
+	// 0 (the default) disables the path entirely: no window allocations, no
+	// extra metrics, byte-identical behavior to builds without it.
+	InlineMax int
+
 	// InflightWindow bounds how many commands a single application thread
 	// keeps in flight when it pipelines a multi-page or multi-chunk
 	// operation (client read/write loops, flush write-back). 0 means the
@@ -86,6 +97,11 @@ type Submission struct {
 	Payload  []byte // write payload
 	ReadLen  int    // response payload bytes expected (data after header)
 	RHLen    int    // response header bytes expected
+
+	// ReadInto, when non-nil with len >= ReadLen, receives the response
+	// payload in place: the completion IRQ copies into it and Completion.Data
+	// aliases it, so the steady-state read path allocates nothing per op.
+	ReadInto []byte
 }
 
 // Completion is the host-side result.
@@ -107,10 +123,11 @@ type pendingCmd struct {
 	cond    *sim.Cond
 	done    bool
 	comp    Completion
-	slot    int
-	rhLen   int    // response header bytes the submitter asked for
-	readLen int    // response payload bytes after the header
-	token   uint32 // retry token the SQE carried; completions must echo it
+	slot     int
+	rhLen    int    // response header bytes the submitter asked for
+	readLen  int    // response payload bytes after the header
+	token    uint32 // retry token the SQE carried; completions must echo it
+	readInto []byte // caller-owned destination for response data (optional)
 }
 
 type queueState struct {
@@ -141,6 +158,35 @@ type queueState struct {
 	// unrung counts SQEs enqueued since the last doorbell ring: a burst
 	// submitted with SubmitBatch publishes all of them with one MMIO.
 	unrung int
+
+	// Inline small-I/O state, populated only when Config.InlineMax > 0.
+	//
+	// inWin is the per-queue inline staging window in DPU memory: Depth
+	// slots of inStride = 64+InlineMax bytes, indexed by SQ ring position.
+	// The host PIO-writes [header|payload] into the slot matching its SQE;
+	// the TGT copies it out device-locally before it advances SQHead (after
+	// which the host may reuse the ring position and overwrite the slot).
+	//
+	// cqWin is the enlarged-CQE window in host memory: Depth slots of
+	// cqStride = CQESize+RHCap+InlineMax bytes, indexed by CQ ring position.
+	// An inline-read completion lands as one contiguous [CQE|header|data]
+	// DMA there; the IRQ handler decodes response bytes from the window.
+	inWin    mem.Addr
+	inStride int
+	cqWin    mem.Addr
+	cqStride int
+
+	// Adaptive cutover inputs: EWMA (α = 1/8) of observed per-DMA setup
+	// time, per-byte DMA transfer time and per-byte PIO time, seeded from
+	// the link's cost model and updated from live transfer durations (which
+	// include engine/pipe queueing — observed cost, not configured cost).
+	// cutover is the derived max inline-write payload, exported as the
+	// "nvmefs.q<N>.inline_cutover" gauge.
+	setupObs   float64
+	dmaPerByte float64
+	pioPerByte float64
+	cutover    int
+	cutGauge   *obs.Gauge
 
 	// gen is the queue's reset generation. A controller reset bumps it;
 	// TGT work that straddles the reset (SQE fetches, workers mid-handler)
@@ -218,6 +264,19 @@ type Driver struct {
 	oInflight     *obs.Gauge
 	oInflightPeak *obs.Gauge
 
+	// Inline-path state (InlineMax > 0 only). pool recycles PIO staging
+	// buffers; mmioNs feeds the cutover formula.
+	pool   *bufpool.Pool
+	mmioNs float64
+	// InlineWrites/InlineReads count commands that took the inline path;
+	// InlineBytes counts payload bytes moved inline (both directions).
+	InlineWrites int64
+	InlineReads  int64
+	InlineBytes  int64
+	oInlineW     *obs.Counter
+	oInlineR     *obs.Counter
+	oInlineB     *obs.Counter
+
 	// Completed counts finished commands.
 	Completed int64
 
@@ -288,6 +347,9 @@ func NewDriver(m *model.Machine, cfg Config, handler Handler) *Driver {
 	if cfg.ResetDelay <= 0 {
 		cfg.ResetDelay = 200 * time.Microsecond
 	}
+	if cfg.InlineMax > cfg.MaxIO {
+		cfg.InlineMax = cfg.MaxIO
+	}
 	d := &Driver{m: m, cfg: cfg, handler: handler}
 	if o := m.Obs; o.Enabled() {
 		d.o = o
@@ -297,6 +359,18 @@ func NewDriver(m *model.Machine, cfg Config, handler Handler) *Driver {
 		d.oCoalesced = o.Counter("nvmefs.driver.doorbells_coalesced")
 		d.oInflight = o.Gauge("nvmefs.driver.inflight")
 		d.oInflightPeak = o.Gauge("nvmefs.driver.inflight_peak")
+		if cfg.InlineMax > 0 {
+			// Registered only with the path enabled so inline-off runs keep
+			// their exact metric key set (snapshot byte stability).
+			d.oInlineW = o.Counter("nvmefs.driver.inline_writes")
+			d.oInlineR = o.Counter("nvmefs.driver.inline_reads")
+			d.oInlineB = o.Counter("nvmefs.driver.inline_bytes")
+		}
+	}
+	pcfg := m.PCIe.Config()
+	d.mmioNs = float64(pcfg.MMIOLatency.Nanoseconds())
+	if cfg.InlineMax > 0 {
+		d.pool = bufpool.New()
 	}
 	for qid := 0; qid < cfg.Queues; qid++ {
 		sqBase := m.AllocHost(cfg.Depth*nvme.SQESize, 4096)
@@ -314,6 +388,19 @@ func NewDriver(m *model.Machine, cfg Config, handler Handler) *Driver {
 		}
 		if d.po != nil {
 			qs.depthGauge = d.po.Gauge(fmt.Sprintf("nvmefs.q%d.sq_depth", qid))
+		}
+		if cfg.InlineMax > 0 {
+			qs.inStride = 64 + cfg.InlineMax
+			qs.cqStride = nvme.CQESize + cfg.RHCap + cfg.InlineMax
+			qs.inWin = m.AllocDPU(cfg.Depth*qs.inStride, 4096)
+			qs.cqWin = m.AllocHost(cfg.Depth*qs.cqStride, 4096)
+			qs.setupObs = float64(pcfg.DMASetup.Nanoseconds())
+			qs.dmaPerByte = 1e9 / float64(pcfg.BandwidthBps)
+			qs.pioPerByte = 1e9 / float64(pcfg.PIOBandwidthBps)
+			if d.o != nil {
+				qs.cutGauge = d.o.Gauge(fmt.Sprintf("nvmefs.q%d.inline_cutover", qid))
+			}
+			d.recalcCutover(qs)
 		}
 		qs.slabBase = m.AllocHost(cfg.SlotsPerQ*(qs.wStride+qs.rStride), 4096)
 		for i := cfg.SlotsPerQ - 1; i >= 0; i-- {
@@ -346,6 +433,45 @@ func (d *Driver) SetFaults(in *fault.Injector) {
 		d.oDedup = o.Counter("nvmefs.driver.dedup_hits")
 	}
 }
+
+// ewma folds a new sample into an α=1/8 exponentially-weighted average.
+func ewma(v *float64, sample float64) { *v += (sample - *v) / 8 }
+
+// recalcCutover rederives the queue's inline-write payload cutover from its
+// observed costs. An inline write replaces two DMAs (the 64-byte PRP/header
+// fetch and the payload pull) with one PIO burst of the same 64+n bytes, so
+// inline wins while
+//
+//	mmio + pioPerByte·(64+n)  <  2·setup + dmaPerByte·(64+n)
+//
+// i.e. for 64+n below (2·setup − mmio)/(pioPerByte − dmaPerByte). The
+// result is clamped to [0, InlineMax]; when PIO is at least as fast per
+// byte as DMA the cutover saturates at InlineMax.
+func (d *Driver) recalcCutover(qs *queueState) {
+	cut := d.cfg.InlineMax
+	num := 2*qs.setupObs - d.mmioNs
+	den := qs.pioPerByte - qs.dmaPerByte
+	if num <= 0 {
+		cut = 0
+	} else if den > 0 {
+		c := int(num/den) - 64
+		if c < 0 {
+			c = 0
+		}
+		if c < cut {
+			cut = c
+		}
+	}
+	qs.cutover = cut
+	qs.cutGauge.Set(float64(cut))
+}
+
+// Cutover returns queue qid's current inline-write payload cutover in bytes
+// (0 when the inline path is disabled).
+func (d *Driver) Cutover(qid int) int { return d.queues[qid%len(d.queues)].cutover }
+
+// InlineMax returns the configured inline payload cap (0 = disabled).
+func (d *Driver) InlineMax() int { return d.cfg.InlineMax }
 
 // Queues returns the number of queue pairs.
 func (d *Driver) Queues() int { return d.cfg.Queues }
@@ -473,11 +599,6 @@ func (d *Driver) enqueueToken(p *sim.Proc, qid int, sub Submission, token uint32
 	qs.freeCID = qs.freeCID[:len(qs.freeCID)-1]
 
 	wbuf, rbuf := qs.slotBufs(slot)
-	// Place the file-semantic header and payload in the write buffer.
-	d.m.HostMem.Write(wbuf, sub.Header)
-	if len(sub.Payload) > 0 {
-		d.m.HostMem.Write(wbuf+64, sub.Payload)
-	}
 
 	writeLen := 0
 	if len(sub.Header) > 0 || len(sub.Payload) > 0 {
@@ -486,6 +607,24 @@ func (d *Driver) enqueueToken(p *sim.Proc, qid int, sub Submission, token uint32
 	readLen := 0
 	if sub.RHLen > 0 || sub.ReadLen > 0 {
 		readLen = d.cfg.RHCap + sub.ReadLen
+	}
+
+	// Inline decisions. Writes inline only when there is a payload (a
+	// header-only command already costs a single 64-byte fetch, which beats
+	// a PIO burst) at or under the queue's adaptive cutover. Reads inline
+	// whenever the response fits the enlarged-CQE window: folding data-out
+	// into the CQE DMA saves one DMA setup unconditionally.
+	inlineW := d.cfg.InlineMax > 0 && writeLen > 64 && len(sub.Payload) <= qs.cutover
+	inlineR := d.cfg.InlineMax > 0 && readLen > 0 && sub.ReadLen <= d.cfg.InlineMax
+
+	// Place the file-semantic header and payload in the write buffer. An
+	// inline write stages them into the DPU window instead, once its SQ ring
+	// position is known below.
+	if !inlineW {
+		d.m.HostMem.Write(wbuf, sub.Header)
+		if len(sub.Payload) > 0 {
+			d.m.HostMem.Write(wbuf+64, sub.Payload)
+		}
 	}
 
 	sqe := nvme.SQE{
@@ -500,11 +639,17 @@ func (d *Driver) enqueueToken(p *sim.Proc, qid int, sub Submission, token uint32
 		RHLen:    uint16(sub.RHLen),
 		Token:    token,
 	}
-	if writeLen > 0 {
+	if writeLen > 0 && !inlineW {
 		sqe.PRPWrite = [2]uint64{uint64(wbuf), uint64(wbuf) + 4096}
 	}
-	if readLen > 0 {
+	if readLen > 0 && !inlineR {
 		sqe.PRPRead = [2]uint64{uint64(rbuf), uint64(rbuf) + 4096}
+	}
+	if inlineW {
+		sqe.PSDTWrite = nvme.PSDTInline
+	}
+	if inlineR {
+		sqe.PSDTRead = nvme.PSDTInline
 	}
 
 	if qs.qp.SQFull() {
@@ -515,6 +660,31 @@ func (d *Driver) enqueueToken(p *sim.Proc, qid int, sub Submission, token uint32
 		}
 		d.po.Attr(p, obs.CompWait, "nvmefs.sq", waitFrom, p.Now())
 	}
+	if inlineW {
+		// Stage [header|payload] into the inline window slot matching this
+		// SQE's ring position — one write-combined PIO burst. The staging
+		// buffer comes from the pool; PIOWrite only reads it, so it recycles
+		// immediately. The burst duration feeds the PIO-per-byte estimate.
+		stage := d.pool.Get(writeLen)
+		copy(stage, sub.Header)
+		copy(stage[64:], sub.Payload)
+		winAddr := qs.inWin + mem.Addr(qs.qp.SQTail*qs.inStride)
+		pioFrom := p.Now()
+		d.m.PCIe.PIOWrite(p, d.m.DPUMem, winAddr, stage, "inline-sqe")
+		if dur := float64(p.Now() - pioFrom); dur > d.mmioNs {
+			ewma(&qs.pioPerByte, (dur-d.mmioNs)/float64(writeLen))
+			d.recalcCutover(qs)
+		}
+		d.pool.Put(stage)
+		d.InlineWrites++
+		d.InlineBytes += int64(len(sub.Payload))
+		d.oInlineW.Inc()
+		d.oInlineB.Add(int64(len(sub.Payload)))
+	}
+	if inlineR {
+		d.InlineReads++
+		d.oInlineR.Inc()
+	}
 	// Write the SQE into the SQ ring (host-local memory write).
 	sqeAddr := qs.qp.SQ.EntryAddr(qs.qp.SQTail)
 	sqe.Marshal(d.m.HostMem.Slice(sqeAddr, nvme.SQESize))
@@ -522,11 +692,12 @@ func (d *Driver) enqueueToken(p *sim.Proc, qid int, sub Submission, token uint32
 	qs.unrung++
 
 	pd := &pendingCmd{
-		cond:    sim.NewCond(d.m.Eng, "nvme-cmd"),
-		slot:    slot,
-		rhLen:   sub.RHLen,
-		readLen: sub.ReadLen,
-		token:   token,
+		cond:     sim.NewCond(d.m.Eng, "nvme-cmd"),
+		slot:     slot,
+		rhLen:    sub.RHLen,
+		readLen:  sub.ReadLen,
+		token:    token,
+		readInto: sub.ReadInto,
 	}
 	qs.pending[cid] = pd
 	qs.depthGauge.Set(float64(len(qs.pending)))
@@ -749,7 +920,8 @@ func (d *Driver) processOne(p *sim.Proc, qs *queueState) {
 	ts := d.o.Begin(p, "nvmefs.tgt")
 
 	// ① Retrieve the SQE.
-	sqeAddr := qs.qp.SQ.EntryAddr(qs.qp.SQHead)
+	sqeIdx := qs.qp.SQHead
+	sqeAddr := qs.qp.SQ.EntryAddr(sqeIdx)
 	sqeBytes := link.DMARead(p, hm, sqeAddr, nvme.SQESize, "sqe")
 	if qs.gen != gen {
 		// A reset re-armed the ring while the fetch was in flight: the
@@ -757,6 +929,22 @@ func (d *Driver) processOne(p *sim.Proc, qs *queueState) {
 		// the (already re-zeroed) head index.
 		ts.End(p)
 		return
+	}
+	// An inline write's bytes live in the window slot tied to this ring
+	// position. They must be copied out device-locally BEFORE SQHead
+	// advances: the moment the slot frees, a parked submitter may reuse the
+	// position and PIO fresh bytes over them. (The later fault hooks can
+	// sleep, so copying here is load-bearing, not an optimization.)
+	var inBytes []byte
+	if d.cfg.InlineMax > 0 {
+		if peek, err := nvme.UnmarshalSQE(sqeBytes); err == nil &&
+			peek.PSDTWrite == nvme.PSDTInline && peek.WriteLen > 0 {
+			wl := int(peek.WriteLen)
+			if wl > qs.inStride {
+				wl = qs.inStride
+			}
+			inBytes = d.m.DPUMem.Read(qs.inWin+mem.Addr(sqeIdx*qs.inStride), wl)
+		}
 	}
 	qs.qp.SQHead = qs.qp.SQ.Next(qs.qp.SQHead)
 	// Consuming the SQE frees a ring slot: a submitter blocked on SQFull
@@ -826,14 +1014,44 @@ func (d *Driver) processOne(p *sim.Proc, qs *queueState) {
 	}
 	// ② Locate the data buffer: the PRP/buffer-descriptor fetch also
 	// brings in the 64-byte file-semantic request header that sits at the
-	// head of the write buffer.
+	// head of the write buffer. An inline write already delivered both
+	// header and payload through the window — steps ② and ③ vanish.
 	req := Request{QID: qs.qp.ID, SQE: sqe}
-	if sqe.WriteLen > 0 {
+	switch {
+	case sqe.PSDTWrite == nvme.PSDTInline && sqe.WriteLen > 0:
+		if inBytes == nil || len(inBytes) < int(sqe.WHLen) {
+			// The peek ran on pre-corruption bytes; a mangled PSDT bit or
+			// length cannot be satisfied from the window. Fail retryably.
+			d.complete(p, qs, gen, sqe, Response{Status: nvme.StatusCorrupt})
+			ts.End(p)
+			return
+		}
+		req.Header = inBytes[:sqe.WHLen]
+		if len(inBytes) > 64 {
+			req.Data = inBytes[64:]
+		}
+	case sqe.WriteLen > 0:
+		prpFrom := p.Now()
 		hdrBytes := link.DMARead(p, hm, mem.Addr(sqe.PRPWrite[0]), 64, "prp")
+		if d.cfg.InlineMax > 0 {
+			// A 64-byte fetch is almost pure setup: feed the setup estimate.
+			if dur := float64(p.Now()-prpFrom) - 64*qs.dmaPerByte; dur > 0 {
+				ewma(&qs.setupObs, dur)
+				d.recalcCutover(qs)
+			}
+		}
 		req.Header = hdrBytes[:sqe.WHLen]
 		if sqe.WriteLen > 64 {
 			// ③ Read the payload in one contiguous transfer.
-			req.Data = link.DMARead(p, hm, mem.Addr(sqe.PRPWrite[0])+64, int(sqe.WriteLen)-64, "data-in")
+			n := int(sqe.WriteLen) - 64
+			dataFrom := p.Now()
+			req.Data = link.DMARead(p, hm, mem.Addr(sqe.PRPWrite[0])+64, n, "data-in")
+			if d.cfg.InlineMax > 0 && n >= 4096 {
+				if dur := (float64(p.Now()-dataFrom) - qs.setupObs) / float64(n); dur > 0 {
+					ewma(&qs.dmaPerByte, dur)
+					d.recalcCutover(qs)
+				}
+			}
 		}
 	}
 	d.m.Eng.Go("nvme-worker", func(wp *sim.Proc) {
@@ -876,6 +1094,15 @@ func (d *Driver) processOne(p *sim.Proc, qs *queueState) {
 				// cleanly instead of crashing the TGT.
 				d.HeaderOverflows++
 				resp = Response{Status: nvme.StatusIOError}
+			} else if sqe.PSDTRead == nvme.PSDTInline {
+				// Inline read: no data-out DMA here. complete() folds the
+				// response into the enlarged-CQE window in one transfer.
+				if len(resp.Data) > int(sqe.ReadLen)-d.cfg.RHCap {
+					resp.Data = resp.Data[:int(sqe.ReadLen)-d.cfg.RHCap]
+				}
+				d.InlineBytes += int64(len(resp.Data))
+				d.oInlineB.Add(int64(len(resp.Data)))
+				resp.Result = uint32(len(resp.Data))
 			} else if live() {
 				out := make([]byte, d.cfg.RHCap+len(resp.Data))
 				copy(out, resp.Header)
@@ -883,7 +1110,14 @@ func (d *Driver) processOne(p *sim.Proc, qs *queueState) {
 				if len(out) > int(sqe.ReadLen) {
 					out = out[:sqe.ReadLen]
 				}
+				outFrom := wp.Now()
 				link.DMAWrite(wp, hm, mem.Addr(sqe.PRPRead[0]), out, "data-out")
+				if n := len(out); d.cfg.InlineMax > 0 && n >= 4096 {
+					if dur := (float64(wp.Now()-outFrom) - qs.setupObs) / float64(n); dur > 0 {
+						ewma(&qs.dmaPerByte, dur)
+						d.recalcCutover(qs)
+					}
+				}
 				resp.Result = uint32(len(resp.Data))
 			}
 		}
@@ -937,14 +1171,43 @@ func (d *Driver) complete(p *sim.Proc, qs *queueState, gen int, sqe nvme.SQE, re
 			cqe.Token ^= 0xDEAD6077
 		}
 	}
-	var cqeBytes [nvme.CQESize]byte
-	cqe.Marshal(cqeBytes[:])
-	cqAddr := qs.qp.CQ.EntryAddr(qs.qp.CQTail)
+	cqIdx := qs.qp.CQTail
 	qs.qp.CQTail = qs.qp.CQ.Next(qs.qp.CQTail)
 	if qs.qp.CQTail == 0 {
 		qs.qp.CQPhaseDev = !qs.qp.CQPhaseDev
 	}
-	d.m.PCIe.DMAWrite(p, d.m.HostMem, cqAddr, cqeBytes[:], "cqe")
+	// An inline read folds the whole response into the completion: one
+	// contiguous [CQE|header|data] DMA into the enlarged-CQE window slot at
+	// this CQ position, replacing the separate data-out and CQE transfers.
+	// hasWin tells the IRQ handler to decode response bytes from the window.
+	hasWin := sqe.PSDTRead == nvme.PSDTInline && resp.Status == nvme.StatusOK &&
+		(len(resp.Header) > 0 || len(resp.Data) > 0)
+	var winAddr mem.Addr
+	if hasWin {
+		winAddr = qs.cqWin + mem.Addr(cqIdx*qs.cqStride)
+		n := len(resp.Data)
+		if max := qs.cqStride - nvme.CQESize - d.cfg.RHCap; n > max {
+			n = max
+		}
+		out := make([]byte, nvme.CQESize+d.cfg.RHCap+n)
+		cqe.Marshal(out)
+		copy(out[nvme.CQESize:], resp.Header)
+		copy(out[nvme.CQESize+d.cfg.RHCap:], resp.Data[:n])
+		d.m.PCIe.DMAWrite(p, d.m.HostMem, winAddr, out, "cqe-inline")
+	} else {
+		var cqeBytes [nvme.CQESize]byte
+		cqe.Marshal(cqeBytes[:])
+		cqAddr := qs.qp.CQ.EntryAddr(cqIdx)
+		cqeFrom := p.Now()
+		d.m.PCIe.DMAWrite(p, d.m.HostMem, cqAddr, cqeBytes[:], "cqe")
+		if d.cfg.InlineMax > 0 {
+			// A 16-byte CQE write is pure setup: feed the setup estimate.
+			if dur := float64(p.Now()-cqeFrom) - nvme.CQESize*qs.dmaPerByte; dur > 0 {
+				ewma(&qs.setupObs, dur)
+				d.recalcCutover(qs)
+			}
+		}
+	}
 
 	d.m.Eng.After(d.m.Cfg.Costs.HostIRQDelay, func() {
 		pd := qs.pending[cqe.CID]
@@ -962,15 +1225,25 @@ func (d *Driver) complete(p *sim.Proc, qs *queueState, gen int, sqe nvme.SQE, re
 		comp := Completion{Status: cqe.Status, Result: cqe.Result}
 		if (pd.rhLen > 0 || pd.readLen > 0) && cqe.Status == nvme.StatusOK {
 			_, rbuf := qs.slotBufs(pd.slot)
+			hdrAddr, dataAddr := rbuf, rbuf+mem.Addr(d.cfg.RHCap)
+			if hasWin {
+				hdrAddr = winAddr + nvme.CQESize
+				dataAddr = winAddr + nvme.CQESize + mem.Addr(d.cfg.RHCap)
+			}
 			if pd.rhLen > 0 {
-				comp.Header = d.m.HostMem.Read(rbuf, pd.rhLen)
+				comp.Header = d.m.HostMem.Read(hdrAddr, pd.rhLen)
 			}
 			n := int(cqe.Result)
 			if n > pd.readLen {
 				n = pd.readLen
 			}
 			if n > 0 {
-				comp.Data = d.m.HostMem.Read(rbuf+mem.Addr(d.cfg.RHCap), n)
+				if len(pd.readInto) >= n {
+					copy(pd.readInto, d.m.HostMem.Slice(dataAddr, n))
+					comp.Data = pd.readInto[:n]
+				} else {
+					comp.Data = d.m.HostMem.Read(dataAddr, n)
+				}
 			}
 		}
 		pd.comp = comp

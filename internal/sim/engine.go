@@ -14,7 +14,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -39,27 +38,73 @@ func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
 
 func (t Time) String() string { return time.Duration(t).String() }
 
+// event is one heap entry. Process wake-ups carry the process in p instead
+// of a fresh closure: the wake path runs once per Sleep on every hot path,
+// and a closure there would heap-allocate per event.
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
+	p   *Proc // when non-nil, wake p instead of calling fn
 }
 
+// eventHeap is a hand-rolled binary min-heap. container/heap would box every
+// event through its `any` interface on Push and Pop — two allocations per
+// scheduled event, which dominates the allocation profile of I/O hot paths
+// (every Sleep is one event). Pop order is independent of the implementation:
+// seq breaks every tie, so event priorities form a total order.
 type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event        { return h[0] }
-func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
-func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+func (h eventHeap) peek() event { return h[0] }
+
+func (h *eventHeap) pushEvent(e event) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) popEvent() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // drop the fn/p references so they can be collected
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && s.less(r, child) {
+			child = r
+		}
+		if !s.less(child, i) {
+			break
+		}
+		s[i], s[child] = s[child], s[i]
+		i = child
+	}
+	return top
+}
 
 // Engine is a discrete-event simulation engine. The zero value is not usable;
 // call NewEngine.
@@ -138,7 +183,11 @@ func (e *Engine) RunUntil(limit Time) {
 			panic("sim: event heap time went backwards")
 		}
 		e.now = ev.at
-		ev.fn()
+		if ev.p != nil {
+			e.wake(ev.p)
+		} else {
+			ev.fn()
+		}
 	}
 	if e.now < limit && limit < Time(1<<62-1) {
 		e.now = limit
@@ -193,7 +242,13 @@ func (e *Engine) wake(p *Proc) {
 	e.running = nil
 }
 
-// scheduleWake arranges for p to resume at time at.
+// scheduleWake arranges for p to resume at time at. It pushes a proc-carrying
+// event directly — no closure — so a Sleep on a steady-state hot path
+// schedules its wake-up without touching the heap allocator.
 func (e *Engine) scheduleWake(p *Proc, at Time) {
-	e.Schedule(at, func() { e.wake(p) })
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling wake at %v before now %v", at, e.now))
+	}
+	e.seq++
+	e.events.pushEvent(event{at: at, seq: e.seq, p: p})
 }

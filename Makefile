@@ -5,8 +5,12 @@ GO ?= go
 build:
 	$(GO) build ./...
 
+# vet also runs dpclint, the repo's metric-naming lint: every metric
+# registration must use a constant name or the sanctioned q%d per-queue
+# convention (see cmd/dpclint).
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/dpclint ./...
 
 test:
 	$(GO) test ./...
@@ -35,6 +39,7 @@ bench-json:
 	$(GO) run ./cmd/dpcbench -metrics-out BENCH_metrics.json -trace-out BENCH_trace.json -largeio-out BENCH_3.json
 	$(GO) run ./cmd/dpcbench -bench-out BENCH_5.json
 	$(GO) run ./cmd/dpcbench -smallio-out BENCH_6.json
+	$(GO) run ./cmd/dpcbench -ramp-out BENCH_7.json
 
 # Regression gate: re-run the large-I/O scenario and diff every metric
 # against the committed baseline — structural counts (ops, bytes, doorbells,
@@ -43,10 +48,13 @@ bench-json:
 bench-compare:
 	$(GO) run ./cmd/dpcbench -baseline BENCH_3.json -compare
 	$(GO) run ./cmd/dpcbench -baseline BENCH_6.json -compare
+	$(GO) run ./cmd/dpcbench -baseline BENCH_7.json -compare
 
 # Allocs-per-op gate: the steady-state client data paths (buffered RMW
-# write, cached ReadInto) must stay at zero heap allocations per op.
+# write, cached ReadInto) and the telemetry flight-recorder ring must stay
+# at zero heap allocations per op.
 allocs:
 	$(GO) test -count=1 -run 'ZeroScratchAllocs|ZeroAllocs' .
+	$(GO) test -count=1 -run 'ZeroAllocs' ./internal/telemetry
 
 check: vet test race allocs torture bench-compare

@@ -60,6 +60,17 @@ var (
 	ErrTimeout = errors.New("dpc: command timed out")
 )
 
+// pinFault marks an op's span anomalous for the telemetry flight recorder
+// when err is a fault-class outcome — an I/O error or a retry-budget
+// timeout. Namespace results (not-found, exists, not-a-directory, ...) are
+// ordinary answers, not faults, and stay unpinned. Without an attached
+// recorder the pin is a single bool store on the open span record.
+func pinFault(s obs.Span, err error) {
+	if err != nil && (errors.Is(err, ErrIO) || errors.Is(err, ErrTimeout)) {
+		s.Pin()
+	}
+}
+
 func statusErr(s uint16) error {
 	switch s {
 	case nvme.StatusOK:
@@ -207,6 +218,7 @@ func (c *Client) metaOp(p *sim.Proc, qid int, op uint32, path, path2 string) (kv
 	start := p.Now()
 	a, err := c.doMetaOp(p, qid, op, path, path2)
 	c.hMeta.Observe(time.Duration(p.Now() - start))
+	pinFault(s, err)
 	s.End(p)
 	return a, err
 }
@@ -289,6 +301,7 @@ func (c *Client) Readdir(p *sim.Proc, qid int, path string) ([]DirEntry, error) 
 	start := p.Now()
 	out, err := c.readdir(p, qid, path)
 	c.hMeta.Observe(time.Duration(p.Now() - start))
+	pinFault(s, err)
 	s.End(p)
 	return out, err
 }
@@ -329,6 +342,7 @@ func (f *File) Sync(p *sim.Proc, qid int) error {
 	})
 	err := statusErr(comp.Status)
 	c.hSync.Observe(time.Duration(p.Now() - start))
+	pinFault(s, err)
 	s.End(p)
 	return err
 }
@@ -342,6 +356,7 @@ func (f *File) Sync(p *sim.Proc, qid int) error {
 func (f *File) Truncate(p *sim.Proc, qid int) error {
 	s := f.c.o.Begin(p, "client.truncate")
 	err := f.truncate(p, qid)
+	pinFault(s, err)
 	s.End(p)
 	return err
 }
@@ -376,6 +391,7 @@ func (c *Client) Sync(p *sim.Proc, qid int) error {
 	})
 	err := statusErr(comp.Status)
 	c.hSync.Observe(time.Duration(p.Now() - start))
+	pinFault(s, err)
 	s.End(p)
 	return err
 }
@@ -405,6 +421,7 @@ func (f *File) Write(p *sim.Proc, qid int, off uint64, data []byte, direct bool)
 	start := p.Now()
 	err := f.write(p, qid, off, data, direct)
 	c.hWrite.Observe(time.Duration(p.Now() - start))
+	pinFault(s, err)
 	s.End(p)
 	return err
 }
@@ -660,6 +677,7 @@ func (f *File) Read(p *sim.Proc, qid int, off uint64, n int, direct bool) ([]byt
 	start := p.Now()
 	out, err := f.read(p, qid, off, n, direct)
 	c.hRead.Observe(time.Duration(p.Now() - start))
+	pinFault(s, err)
 	s.End(p)
 	return out, err
 }
@@ -698,6 +716,7 @@ func (f *File) ReadInto(p *sim.Proc, qid int, off uint64, dst []byte, direct boo
 	start := p.Now()
 	got, err := f.readInto(p, qid, off, dst, direct)
 	c.hRead.Observe(time.Duration(p.Now() - start))
+	pinFault(s, err)
 	s.End(p)
 	return got, err
 }

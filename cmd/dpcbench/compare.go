@@ -22,10 +22,20 @@ import (
 var exactKeys = []string{
 	"window", "ops", "bytes", "op_bytes", "mmios", "dmas", "spans", "anomalies",
 	"pios", "inline_max", "inline_writes", "inline_reads", "dma_setup_ns",
+	"workers", "reads", "ticks", "windows", "violations", "dumps", "interval_ns",
 }
+
+// quantileKeys are histogram-quantile suffixes. They get a wider band than
+// plain timing metrics: bounded-histogram quantiles move in bucket-width
+// steps (12.5% relative), so a one-bucket shift is not a regression but two
+// are.
+var quantileKeys = []string{"p50_ns", "p95_ns", "p99_ns", "p999_ns", "read_p50_ns", "read_p99_ns"}
 
 // relTolerance is the allowed relative drift for timing-derived metrics.
 const relTolerance = 0.05
+
+// quantileTolerance is the allowed relative drift for histogram quantiles.
+const quantileTolerance = 0.15
 
 func keyTolerance(key string) float64 {
 	last := key
@@ -35,6 +45,11 @@ func keyTolerance(key string) float64 {
 	for _, k := range exactKeys {
 		if last == k {
 			return 0
+		}
+	}
+	for _, k := range quantileKeys {
+		if last == k {
+			return quantileTolerance
 		}
 	}
 	return relTolerance
@@ -134,9 +149,16 @@ func runCompare(baselinePath string) error {
 		workload, _ = doc["workload"].(string)
 	}
 	smallOp := workload == "small-op-direct"
-	if smallOp {
+	switch workload {
+	case "small-op-direct":
 		report = buildSmallIOReport()
-	} else {
+	case "ramp-telemetry":
+		rep, err := buildRampReport()
+		if err != nil {
+			return fmt.Errorf("ramp scenario: %w", err)
+		}
+		report = rep
+	default:
 		report = buildLargeIOReport()
 	}
 	curRaw, err := json.Marshal(report)

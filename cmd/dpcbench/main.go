@@ -61,9 +61,15 @@ func main() {
 		foldedOut      = flag.String("folded-out", "", "with -prof-out: also write collapsed stacks (flamegraph.pl / speedscope input) to this file")
 		profTraceOut   = flag.String("prof-trace-out", "", "with -prof-out: also write the profiled Perfetto trace (dpcprof -trace input) to this file")
 		profMetricsOut = flag.String("prof-metrics-out", "", "with -prof-out: also write the profiled metrics snapshot (dpcprof -metrics input) to this file")
-		benchOut  = flag.String("bench-out", "", "write the large-I/O comparison plus attribution summary (BENCH_5 shape) to this file")
-		baseline  = flag.String("baseline", "", "baseline JSON (e.g. BENCH_3.json) for -compare")
-		compare   = flag.Bool("compare", false, "re-run the large-I/O scenario and fail (exit 1) if metrics drift past tolerance vs -baseline")
+		benchOut       = flag.String("bench-out", "", "write the large-I/O comparison plus attribution summary (BENCH_5 shape) to this file")
+		baseline       = flag.String("baseline", "", "baseline JSON (e.g. BENCH_3.json) for -compare")
+		compare        = flag.Bool("compare", false, "re-run the large-I/O scenario and fail (exit 1) if metrics drift past tolerance vs -baseline")
+
+		rampOut          = flag.String("ramp-out", "", "run the staged load ramp under continuous telemetry, write its per-stage digest (BENCH_7 shape) to this file and exit")
+		timelineOut      = flag.String("timeline-out", "", "with the ramp scenario: write the sampler/SLO/flight-recorder timeline JSON to this file")
+		timelineTraceOut = flag.String("timeline-trace-out", "", "with the ramp scenario: write the Perfetto trace with metric counter tracks spliced in")
+		sloSpecs         = flag.String("slo", "", "semicolon-separated SLO specs for the ramp scenario, e.g. \"p99(client.read.latency) < 800us over 1ms\" (default: the calibrated ramp objective)")
+		sloGate          = flag.Float64("slo-gate", -1, "with the ramp scenario: exit non-zero if any objective's burn rate exceeds this fraction (negative disables)")
 	)
 	flag.Parse()
 
@@ -73,6 +79,16 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+
+	if *rampOut != "" || *timelineOut != "" || *timelineTraceOut != "" {
+		if err := runRampScenario(*rampOut, *timelineOut, *timelineTraceOut, *sloSpecs, *sloGate); err != nil {
+			fmt.Fprintln(os.Stderr, "ramp scenario:", err)
+			os.Exit(1)
+		}
+		if !*compare {
+			return
+		}
 	}
 
 	if *metricsOut != "" || *largeioOut != "" || *smallioOut != "" || *profOut != "" || *benchOut != "" || *compare {

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func lintSource(t *testing.T, src string) int {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "x.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return lintFile(path)
+}
+
+func TestLintAcceptsConstantNames(t *testing.T) {
+	src := `package x
+func f(o O) {
+	o.Counter("client.read.ops")
+	o.Gauge("cache" + ".hit_ratio")
+	o.Histogram(("client.read.latency"))
+}
+`
+	if n := lintSource(t, src); n != 0 {
+		t.Errorf("constant names flagged: %d findings", n)
+	}
+}
+
+func TestLintAcceptsQueueConvention(t *testing.T) {
+	src := `package x
+import "fmt"
+func f(o O, qid int) {
+	o.Gauge(fmt.Sprintf("nvmefs.q%d.sq_depth", qid))
+}
+`
+	if n := lintSource(t, src); n != 0 {
+		t.Errorf("q%%d convention flagged: %d findings", n)
+	}
+}
+
+func TestLintRejectsDynamicNames(t *testing.T) {
+	src := `package x
+import "fmt"
+func f(o O, name string, i int) {
+	o.Counter(name)
+	o.Gauge("prefix." + name)
+	o.Histogram(fmt.Sprintf("op.%s.latency", name))
+	o.Counter(fmt.Sprintf("shard%d.ops", i))
+	o.Counter(fmt.Sprintf("static.no.verbs"))
+}
+`
+	if n := lintSource(t, src); n != 5 {
+		t.Errorf("dynamic names: %d findings, want 5", n)
+	}
+}
+
+func TestLintSuppression(t *testing.T) {
+	src := `package x
+func f(o O, name string) {
+	o.Counter(name) //dpclint:ok
+	// registry-enumerated //dpclint:ok
+	o.Gauge(name)
+	o.Histogram(name)
+}
+`
+	if n := lintSource(t, src); n != 1 {
+		t.Errorf("suppressed file: %d findings, want 1 (the unsuppressed Histogram)", n)
+	}
+}
+
+func TestLintIgnoresOtherCalls(t *testing.T) {
+	src := `package x
+func f(m M, name string) {
+	m.Lookup(name)
+	m.LookupHistogram(name)
+	println(name)
+}
+`
+	if n := lintSource(t, src); n != 0 {
+		t.Errorf("non-metric calls flagged: %d findings", n)
+	}
+}

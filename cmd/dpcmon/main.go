@@ -1,0 +1,276 @@
+// Command dpcmon inspects a telemetry timeline written by
+// `dpcbench -timeline-out`: the continuous virtual-time metric series, the
+// SLO ledger with burn rates, and the flight-recorder dumps taken at SLO
+// violations and fault events.
+//
+// Usage:
+//
+//	dpcmon -timeline tl.json            # overview: SLOs, violations, dumps
+//	dpcmon -timeline tl.json -series    # list every recorded series
+//	dpcmon -timeline tl.json -col client.read.latency:p99
+//	                                    # print one series as time/value rows
+//	dpcmon -timeline tl.json -dump 0    # show a dump's critical-path report
+//
+// All output is deterministic for a given input file.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// timeline mirrors telemetry's export shape (decoded loosely so dpcmon can
+// read files from newer dpcbench builds that add fields).
+type timeline struct {
+	SimTimeNs int64 `json:"sim_time_ns"`
+	Series    struct {
+		IntervalNs   int64                `json:"interval_ns"`
+		Ticks        int                  `json:"ticks"`
+		DroppedTicks int64                `json:"dropped_ticks"`
+		TimesNs      []int64              `json:"times_ns"`
+		Columns      map[string][]float64 `json:"columns"`
+	} `json:"series"`
+	SLOs []struct {
+		Spec        string  `json:"spec"`
+		ThresholdNs int64   `json:"threshold_ns"`
+		WindowNs    int64   `json:"window_ns"`
+		Windows     int64   `json:"windows"`
+		Violations  int64   `json:"violations"`
+		BurnRate    float64 `json:"burn_rate"`
+	} `json:"slos"`
+	Violations []struct {
+		TimeNs     int64  `json:"time_ns"`
+		Spec       string `json:"spec"`
+		ObservedNs int64  `json:"observed_ns"`
+		Samples    int64  `json:"samples"`
+	} `json:"violations"`
+	RecorderSpans int64 `json:"recorder_spans"`
+	PinnedTrees   int   `json:"pinned_trees"`
+	Dumps         []struct {
+		TimeNs   int64  `json:"time_ns"`
+		Reason   string `json:"reason"`
+		WindowNs int64  `json:"window_ns"`
+		Spans    []struct {
+			ID      uint64 `json:"id"`
+			Parent  uint64 `json:"parent"`
+			Name    string `json:"name"`
+			Proc    string `json:"proc"`
+			StartNs int64  `json:"start_ns"`
+			EndNs   int64  `json:"end_ns"`
+		} `json:"spans"`
+		Report json.RawMessage `json:"report"`
+	} `json:"dumps"`
+	DroppedDumps int64 `json:"dropped_dumps"`
+}
+
+func main() {
+	var (
+		path   = flag.String("timeline", "", "timeline JSON written by dpcbench -timeline-out (required)")
+		series = flag.Bool("series", false, "list every recorded series with min/max")
+		col    = flag.String("col", "", "print one series as time_ns<TAB>value rows")
+		dump   = flag.Int("dump", -1, "show one dump: its span tree roots and critical-path report")
+	)
+	flag.Parse()
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "dpcmon: -timeline <file> is required")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpcmon:", err)
+		os.Exit(1)
+	}
+	var tl timeline
+	if err := json.Unmarshal(raw, &tl); err != nil {
+		fmt.Fprintf(os.Stderr, "dpcmon: parse %s: %v\n", *path, err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *series:
+		listSeries(&tl)
+	case *col != "":
+		printColumn(&tl, *col)
+	case *dump >= 0:
+		showDump(&tl, *dump)
+	default:
+		overview(&tl)
+	}
+}
+
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1_000_000_000:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1_000_000:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1_000:
+		return fmt.Sprintf("%.1fus", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+func overview(tl *timeline) {
+	fmt.Printf("timeline: %s of virtual time, %d ticks every %s, %d series\n",
+		fmtNs(tl.SimTimeNs), tl.Series.Ticks, fmtNs(tl.Series.IntervalNs), len(tl.Series.Columns))
+	fmt.Printf("recorder: %d spans through the ring, %d pinned trees retained\n\n",
+		tl.RecorderSpans, tl.PinnedTrees)
+
+	if len(tl.SLOs) == 0 {
+		fmt.Println("no objectives attached")
+	}
+	for _, s := range tl.SLOs {
+		status := "OK"
+		if s.Violations > 0 {
+			status = "BURNING"
+		}
+		fmt.Printf("slo %-48s %s\n", s.Spec, status)
+		fmt.Printf("    windows %d  violations %d  burn rate %.3f\n", s.Windows, s.Violations, s.BurnRate)
+	}
+
+	if len(tl.Violations) > 0 {
+		fmt.Printf("\nviolations (%d):\n", len(tl.Violations))
+		max := len(tl.Violations)
+		if max > 20 {
+			max = 20
+		}
+		for _, v := range tl.Violations[:max] {
+			fmt.Printf("  t=%-10s observed %-10s (%d samples)  %s\n",
+				fmtNs(v.TimeNs), fmtNs(v.ObservedNs), v.Samples, v.Spec)
+		}
+		if len(tl.Violations) > max {
+			fmt.Printf("  ... %d more\n", len(tl.Violations)-max)
+		}
+	}
+
+	if len(tl.Dumps) > 0 {
+		fmt.Printf("\nflight-recorder dumps (%d, %d dropped):\n", len(tl.Dumps), tl.DroppedDumps)
+		for i, d := range tl.Dumps {
+			fmt.Printf("  [%d] t=%-10s %-36s window %-8s %d spans\n",
+				i, fmtNs(d.TimeNs), d.Reason, fmtNs(d.WindowNs), len(d.Spans))
+		}
+		fmt.Println("\nuse -dump <n> for a dump's causal trace and critical-path report")
+	}
+}
+
+func listSeries(tl *timeline) {
+	names := make([]string, 0, len(tl.Series.Columns))
+	for k := range tl.Series.Columns {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		col := tl.Series.Columns[name]
+		if len(col) == 0 {
+			fmt.Printf("%-48s (empty)\n", name)
+			continue
+		}
+		lo, hi := col[0], col[0]
+		for _, v := range col {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		fmt.Printf("%-48s %d samples  min %g  max %g\n", name, len(col), lo, hi)
+	}
+}
+
+func printColumn(tl *timeline, name string) {
+	col, ok := tl.Series.Columns[name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "dpcmon: no series %q (try -series)\n", name)
+		os.Exit(1)
+	}
+	for i, v := range col {
+		if i < len(tl.Series.TimesNs) {
+			fmt.Printf("%d\t%g\n", tl.Series.TimesNs[i], v)
+		}
+	}
+}
+
+func showDump(tl *timeline, idx int) {
+	if idx >= len(tl.Dumps) {
+		fmt.Fprintf(os.Stderr, "dpcmon: dump %d of %d\n", idx, len(tl.Dumps))
+		os.Exit(1)
+	}
+	d := tl.Dumps[idx]
+	fmt.Printf("dump %d: t=%s reason=%s window=%s spans=%d\n\n",
+		idx, fmtNs(d.TimeNs), d.Reason, fmtNs(d.WindowNs), len(d.Spans))
+
+	// Root spans with child counts, slowest first.
+	children := map[uint64]int{}
+	byID := map[uint64]bool{}
+	for _, s := range d.Spans {
+		byID[s.ID] = true
+	}
+	for _, s := range d.Spans {
+		if byID[s.Parent] {
+			children[s.Parent]++
+		}
+	}
+	type root struct {
+		name  string
+		dur   int64
+		start int64
+		kids  int
+	}
+	var roots []root
+	for _, s := range d.Spans {
+		if !byID[s.Parent] {
+			roots = append(roots, root{s.Name, s.EndNs - s.StartNs, s.StartNs, children[s.ID]})
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		if roots[i].dur != roots[j].dur {
+			return roots[i].dur > roots[j].dur
+		}
+		return roots[i].start < roots[j].start
+	})
+	max := len(roots)
+	if max > 15 {
+		max = 15
+	}
+	fmt.Printf("slowest roots (%d of %d):\n", max, len(roots))
+	for _, r := range roots[:max] {
+		fmt.Printf("  %-24s %-10s at %-10s %d direct children\n",
+			r.name, fmtNs(r.dur), fmtNs(r.start), r.kids)
+	}
+
+	// The embedded prof report, pretty-printed from its JSON.
+	if len(d.Report) > 0 && string(d.Report) != "null" {
+		var rep struct {
+			Components map[string]int64 `json:"components"`
+			Ops        []struct {
+				Op     string `json:"op"`
+				Count  int64  `json:"count"`
+				MeanNs int64  `json:"mean_ns"`
+				MaxNs  int64  `json:"max_ns"`
+			} `json:"ops"`
+		}
+		if err := json.Unmarshal(d.Report, &rep); err == nil {
+			fmt.Println("\ncritical-path attribution (component totals):")
+			comps := make([]string, 0, len(rep.Components))
+			for k := range rep.Components {
+				comps = append(comps, k)
+			}
+			sort.Strings(comps)
+			for _, c := range comps {
+				fmt.Printf("  %-8s %s\n", c, fmtNs(rep.Components[c]))
+			}
+			if len(rep.Ops) > 0 {
+				fmt.Println("\nper-op critical paths:")
+				for _, op := range rep.Ops {
+					fmt.Printf("  %-24s n=%-6d mean %-10s max %s\n",
+						op.Op, op.Count, fmtNs(op.MeanNs), fmtNs(op.MaxNs))
+				}
+			}
+		}
+	}
+}

@@ -159,6 +159,9 @@ func (c *Ctl) noteFlushFailure(p *sim.Proc) {
 		c.degraded = true
 		c.DegradedEntries.Inc()
 		c.oDegraded.Set(1)
+		// Entering degraded mode is a fault-path event: pin the current span
+		// tree for the telemetry flight recorder.
+		c.m.Obs.Current(p).Pin()
 		c.m.PCIe.AtomicStore32(p, c.m.HostMem, c.L.Base+16, 1, "cache-degraded")
 	}
 }

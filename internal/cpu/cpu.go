@@ -63,8 +63,9 @@ func (c *Pool) AttachObs(o *obs.Obs) {
 	if !o.Enabled() {
 		return
 	}
+	// Pool names are a closed set (host, dpu). //dpclint:ok
 	c.busyNs = o.Counter("cpu." + c.name + ".busy_ns")
-	c.execs = o.Counter("cpu." + c.name + ".execs")
+	c.execs = o.Counter("cpu." + c.name + ".execs") //dpclint:ok
 	if po := o.Prof(); po != nil {
 		c.po = po
 		c.execKind = "cpu." + c.name

@@ -128,6 +128,11 @@ func opSpanName(op uint32) string {
 func (d *Dispatcher) Handle(p *sim.Proc, req nvmefs.Request) nvmefs.Response {
 	s := d.o.Begin(p, opSpanName(req.SQE.FileOp))
 	resp := d.handle(p, req)
+	if resp.Status == nvme.StatusTransient {
+		// Backend failure surfaced as a retryable transient — pin the span
+		// so the flight recorder keeps the DPU-side causal tree too.
+		s.Pin()
+	}
 	s.End(p)
 	return resp
 }

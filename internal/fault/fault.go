@@ -167,7 +167,7 @@ func (in *Injector) AttachObs(o *obs.Obs) {
 		return
 	}
 	for k := Kind(1); k < numKinds; k++ {
-		in.oInjected[k] = o.Counter("fault.injected." + k.String())
+		in.oInjected[k] = o.Counter("fault.injected." + k.String()) // closed Kind enum //dpclint:ok
 	}
 }
 

@@ -120,9 +120,9 @@ func (c Completion) OK() bool { return c.Status == nvme.StatusOK }
 // buffer and frees the slot/CID itself, so a blocked submitter with a full
 // in-flight window can make progress without anyone calling Wait first.
 type pendingCmd struct {
-	cond    *sim.Cond
-	done    bool
-	comp    Completion
+	cond     *sim.Cond
+	done     bool
+	comp     Completion
 	slot     int
 	rhLen    int    // response header bytes the submitter asked for
 	readLen  int    // response payload bytes after the header
@@ -715,8 +715,8 @@ func (d *Driver) enqueueToken(p *sim.Proc, qid int, sub Submission, token uint32
 	d.inflight++
 	if d.inflight > d.inflightPeak {
 		d.inflightPeak = d.inflight
-		d.oInflightPeak.Set(float64(d.inflightPeak))
 	}
+	d.oInflightPeak.SetMax(float64(d.inflight))
 	d.oInflight.Set(float64(d.inflight))
 	s.End(p)
 	return &Pending{d: d, cid: cid, pd: pd, qid: qid, sub: sub, token: token}
@@ -803,6 +803,9 @@ func (pend *Pending) Wait(p *sim.Proc) Completion {
 		if d.oRetries != nil {
 			d.oRetries.Inc()
 		}
+		// A retryable completion is a fault-path event: pin the wait span so
+		// the telemetry flight recorder keeps this op's causal tree.
+		s.Pin()
 		if comp.Status == nvme.StatusTimeout && d.consecTimeouts >= d.cfg.ResetThreshold {
 			d.reset(p)
 		}
@@ -838,6 +841,7 @@ func (d *Driver) reset(p *sim.Proc) {
 		d.oResets.Inc()
 	}
 	rs := d.o.Begin(p, "nvmefs.reset")
+	rs.Pin() // controller resets are always recorder-worthy
 	resetFrom := p.Now()
 	p.Sleep(d.cfg.ResetDelay)
 	d.po.Attr(p, obs.CompWait, "nvmefs.reset", resetFrom, p.Now())

@@ -1,0 +1,40 @@
+package obs
+
+import "testing"
+
+// TestGaugePeakDrain checks the window-peak contract the telemetry sampler
+// relies on: Set and SetMax raise the peak, DrainPeak reads it and re-arms
+// at the live value so the next window starts from the current level.
+func TestGaugePeakDrain(t *testing.T) {
+	g := NewRegistry().Gauge("g")
+	g.Set(5)
+	g.Set(2)
+	if g.Value() != 2 || g.Peak() != 5 {
+		t.Fatalf("value=%g peak=%g, want 2/5", g.Value(), g.Peak())
+	}
+	if p := g.DrainPeak(); p != 5 {
+		t.Errorf("DrainPeak = %g, want 5", p)
+	}
+	// Re-armed at the live value, not zero: a flat gauge still reports its
+	// level as the next window's peak.
+	if g.Peak() != 2 {
+		t.Errorf("re-armed peak = %g, want live value 2", g.Peak())
+	}
+
+	g.SetMax(7)
+	if g.Value() != 7 || g.Peak() != 7 {
+		t.Errorf("after SetMax(7): value=%g peak=%g, want 7/7", g.Value(), g.Peak())
+	}
+	g.SetMax(1) // below current: value holds, peak holds
+	if g.Value() != 7 || g.Peak() != 7 {
+		t.Errorf("after SetMax(1): value=%g peak=%g, want 7/7", g.Value(), g.Peak())
+	}
+
+	// Nil gauge (disabled hub) is a no-op sink.
+	var nilG *Gauge
+	nilG.Set(3)
+	nilG.SetMax(3)
+	if nilG.Value() != 0 || nilG.Peak() != 0 || nilG.DrainPeak() != 0 {
+		t.Error("nil gauge not a no-op")
+	}
+}

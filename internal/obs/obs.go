@@ -121,13 +121,13 @@ func (o *Obs) Tracer() *Tracer {
 }
 
 // Counter returns the named counter (nil, hence a no-op sink, when disabled).
-func (o *Obs) Counter(name string) *Counter { return o.Registry().Counter(name) }
+func (o *Obs) Counter(name string) *Counter { return o.Registry().Counter(name) } // forwarder //dpclint:ok
 
 // Gauge returns the named gauge.
-func (o *Obs) Gauge(name string) *Gauge { return o.Registry().Gauge(name) }
+func (o *Obs) Gauge(name string) *Gauge { return o.Registry().Gauge(name) } // forwarder //dpclint:ok
 
 // Histogram returns the named bounded histogram.
-func (o *Obs) Histogram(name string) *Histogram { return o.Registry().Histogram(name) }
+func (o *Obs) Histogram(name string) *Histogram { return o.Registry().Histogram(name) } // forwarder //dpclint:ok
 
 // Begin opens a span named name as a child of p's innermost open span and
 // makes it current for p. End it with the returned handle.

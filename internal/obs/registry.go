@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"math"
+	"sort"
 	"time"
 
 	"dpc/internal/sim"
@@ -57,13 +58,35 @@ func (c *Counter) Value() int64 {
 	return c.v
 }
 
-// Gauge is a last-value metric (utilizations, ratios, levels).
-type Gauge struct{ v float64 }
+// Gauge is a last-value metric (utilizations, ratios, levels). Alongside the
+// last value it tracks a monotone window peak: Set raises it, DrainPeak
+// reads and re-arms it. A sampler that only reads the last value at each
+// tick would silently miss any excursion between ticks (a queue-depth spike
+// that rises and drains inside one interval); draining the peak per sample
+// window makes those excursions visible. Snapshots export the last value
+// only, so peak tracking never changes snapshot bytes.
+type Gauge struct{ v, peak float64 }
 
-// Set stores the gauge's current value.
+// Set stores the gauge's current value and raises the window peak.
 func (g *Gauge) Set(v float64) {
 	if g != nil {
 		g.v = v
+		if v > g.peak {
+			g.peak = v
+		}
+	}
+}
+
+// SetMax raises the gauge to v if v exceeds the current value (monotone
+// within a window); lower values only feed the peak no-op.
+func (g *Gauge) SetMax(v float64) {
+	if g != nil {
+		if v > g.v {
+			g.v = v
+		}
+		if v > g.peak {
+			g.peak = v
+		}
 	}
 }
 
@@ -73,6 +96,25 @@ func (g *Gauge) Value() float64 {
 		return 0
 	}
 	return g.v
+}
+
+// Peak returns the highest value seen since the last DrainPeak (or ever).
+func (g *Gauge) Peak() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.peak
+}
+
+// DrainPeak returns the window peak and re-arms it at the current value, so
+// the next window's peak starts from the live level rather than zero.
+func (g *Gauge) DrainPeak() float64 {
+	if g == nil {
+		return 0
+	}
+	p := g.peak
+	g.peak = g.v
+	return p
 }
 
 // Histogram is a bounded log-bucketed duration distribution backed by the
@@ -131,6 +173,64 @@ func (r *Registry) Histogram(name string) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// Counts reports how many counters, gauges and histograms are registered.
+// The telemetry sampler polls it to detect lazily-created series without
+// re-sorting names every tick.
+func (r *Registry) Counts() (counters, gauges, hists int) {
+	if r == nil {
+		return 0, 0, 0
+	}
+	return len(r.counters), len(r.gauges), len(r.hists)
+}
+
+// CounterNames returns the registered counter names, sorted.
+func (r *Registry) CounterNames() []string {
+	if r == nil {
+		return nil
+	}
+	out := make([]string, 0, len(r.counters))
+	for k := range r.counters {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GaugeNames returns the registered gauge names, sorted.
+func (r *Registry) GaugeNames() []string {
+	if r == nil {
+		return nil
+	}
+	out := make([]string, 0, len(r.gauges))
+	for k := range r.gauges {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HistogramNames returns the registered histogram names, sorted.
+func (r *Registry) HistogramNames() []string {
+	if r == nil {
+		return nil
+	}
+	out := make([]string, 0, len(r.hists))
+	for k := range r.hists {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LookupHistogram returns the named histogram if it exists, without creating
+// it (SLO objectives resolve lazily against metrics that appear mid-run).
+func (r *Registry) LookupHistogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.hists[name]
 }
 
 // HistBucket is one populated histogram bucket in a snapshot.

@@ -34,6 +34,11 @@ type Tracer struct {
 	// order (deterministic because the simulation is).
 	tids     map[string]int
 	tidOrder []string
+
+	// closeHook, when set (by the telemetry flight recorder), observes every
+	// span as it closes. pinned reports whether the span — or any descendant
+	// that closed under it — was marked anomalous with Span.Pin.
+	closeHook func(sd SpanData, pinned bool)
 }
 
 type annot struct {
@@ -52,6 +57,11 @@ type spanRec struct {
 	end    sim.Time
 	annots []annot
 	ivs    []ivRec // attributed component intervals (profiling mode only)
+	// pinned marks the span anomalous (error/timeout status, degraded-mode
+	// entry). Pins bubble to the enclosing open parent at End, so a fault
+	// deep in the transport pins the whole client-op tree by the time the
+	// root closes.
+	pinned bool
 }
 
 // defaultMaxSpans bounds a tracer to ~1M spans.
@@ -92,6 +102,29 @@ func (s Span) SetParent(parent Span) {
 		rec.parent = parent.id
 	}
 }
+
+// ID returns the span's record id (0 for an invalid span).
+func (s Span) ID() uint64 { return s.id }
+
+// Pin marks an open span anomalous — an error/timeout outcome, a retry, a
+// degraded-mode entry. The mark bubbles to the enclosing open parent when
+// the span ends, so the flight recorder sees the whole causal tree pinned
+// once its root closes. Pinning a closed or invalid span is a no-op, as is
+// pinning when no recorder has registered a close hook (one bool store).
+func (s Span) Pin() {
+	if !s.Valid() {
+		return
+	}
+	if rec := s.t.open[s.id]; rec != nil {
+		rec.pinned = true
+	}
+}
+
+// SetCloseHook registers fn to observe every span as it closes (the
+// telemetry flight recorder's feed). The SpanData passed to fn shares the
+// tracer's name/proc strings; its Intervals are copied only when profiling
+// recorded any, so the hook allocates nothing on unprofiled runs.
+func (t *Tracer) SetCloseHook(fn func(sd SpanData, pinned bool)) { t.closeHook = fn }
 
 // procStack is the per-process span stack hung on Proc.Ctx.
 type procStack struct{ ids []uint64 }
@@ -165,6 +198,38 @@ func (s Span) End(p *sim.Proc) {
 			}
 		}
 	}
+	if rec.pinned {
+		if parent := s.t.open[rec.parent]; parent != nil {
+			parent.pinned = true
+		}
+	}
+	if s.t.closeHook != nil {
+		s.t.closeHook(rec.export(s.t, rec.end), rec.pinned)
+	}
+}
+
+// export converts a record to its analysis form. Strings are shared with the
+// tracer and Intervals copied only when attribution recorded any, so the
+// close-hook path allocates nothing on unprofiled runs.
+func (rec *spanRec) export(t *Tracer, end sim.Time) SpanData {
+	sd := SpanData{
+		ID:     rec.id,
+		Parent: rec.parent,
+		Name:   rec.name,
+		Proc:   t.tidOrder[rec.tid-1],
+		Start:  rec.start,
+		End:    end,
+	}
+	if len(rec.ivs) > 0 {
+		sd.Intervals = make([]Interval, len(rec.ivs))
+		for j, iv := range rec.ivs {
+			sd.Intervals[j] = Interval{Comp: iv.comp, Kind: iv.kind, Start: iv.start, End: iv.end}
+		}
+		sort.Slice(sd.Intervals, func(a, b int) bool {
+			return sd.Intervals[a].Start < sd.Intervals[b].Start
+		})
+	}
+	return sd
 }
 
 // annotate attaches an instant event to p's innermost open span, or records

@@ -123,6 +123,10 @@ type Engine struct {
 	running *Proc
 	// inRun reports whether the event loop is active.
 	inRun bool
+	// tickerPending counts scheduled idle-stopping ticker wake-ups (see
+	// Ticker): when they are the only events left, tickers stop firing so
+	// Run can drain.
+	tickerPending int
 }
 
 // NewEngine returns an engine with the clock at zero and a PRNG seeded with

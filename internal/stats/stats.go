@@ -50,6 +50,55 @@ func histUpperBound(idx int) int64 {
 	return (int64(histSubBuckets+sub+1) << shift) - 1
 }
 
+// BucketCount returns the number of buckets in the bounded recorder's
+// log-linear geometry. Windowed consumers (the telemetry sampler) size their
+// snapshot arrays with it.
+func BucketCount() int { return histNumBuckets }
+
+// BucketUpper returns the inclusive upper bound, in nanoseconds, of bucket
+// idx in the bounded geometry.
+func BucketUpper(idx int) int64 { return histUpperBound(idx) }
+
+// CopyBuckets copies the raw bucket counts of a bounded recorder into dst
+// (which must be at least BucketCount long) and returns the total sample
+// count. It allocates nothing, so a periodic sampler can snapshot a live
+// histogram every tick. Exact-mode recorders copy nothing and return 0.
+func (l *Latency) CopyBuckets(dst []int64) int64 {
+	if l.buckets == nil {
+		return 0
+	}
+	copy(dst, l.buckets)
+	return l.n
+}
+
+// WindowQuantile computes the q-quantile (0 < q <= 1) over a window of
+// bucket-count deltas — the element-wise subtraction of two cumulative
+// CopyBuckets snapshots — holding total samples. It uses the same
+// nearest-rank rule as the live recorder: the result is the upper bound of
+// the bucket containing the ranked sample, so window quantiles are monotone
+// in q and may overshoot the window's true maximum by at most one bucket
+// width (12.5%). An empty window returns 0.
+func WindowQuantile(delta []int64, total int64, q float64) int64 {
+	if total <= 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen int64
+	for i, c := range delta {
+		seen += c
+		if seen >= rank {
+			return histUpperBound(i)
+		}
+	}
+	return histUpperBound(len(delta) - 1)
+}
+
 // Bucket is one populated histogram bucket: Count samples were <= LE (and
 // greater than the previous bucket's LE).
 type Bucket struct {

@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"testing"
+
+	"dpc/internal/obs"
+	"dpc/internal/sim"
+)
+
+func span(id, parent uint64, start, end int64) obs.SpanData {
+	return obs.SpanData{
+		ID: id, Parent: parent, Name: "op", Proc: "worker",
+		Start: sim.Time(start), End: sim.Time(end),
+	}
+}
+
+// TestRecorderKeepsFaultTree checks a pinned root's whole causal tree is
+// assembled from the ring and retained, and that the fault counter feeds the
+// sampler's dump trigger.
+func TestRecorderKeepsFaultTree(t *testing.T) {
+	r := newRecorder(16, 0, 4)
+	// Close order is leaf-first, like real spans.
+	r.observe(span(3, 2, 30, 40), true) // grandchild, pinned at the fault site
+	r.observe(span(2, 1, 20, 50), true) // bubbled
+	r.observe(span(9, 0, 0, 5), false)  // unrelated healthy root
+	r.observe(span(1, 0, 10, 60), true) // pinned root closes
+	if n := r.takeFaults(); n != 1 {
+		t.Errorf("takeFaults = %d, want 1", n)
+	}
+	if n := r.takeFaults(); n != 0 {
+		t.Errorf("takeFaults did not reset: %d", n)
+	}
+
+	trees := r.Trees()
+	if len(trees) != 1 {
+		t.Fatalf("retained %d trees, want 1", len(trees))
+	}
+	tr := trees[0]
+	if tr.RootID != 1 || tr.Reason != "fault" || tr.CloseNs != 60 {
+		t.Errorf("tree = %+v", tr)
+	}
+	if len(tr.Spans) != 3 {
+		t.Fatalf("tree has %d spans, want 3 (root+child+grandchild)", len(tr.Spans))
+	}
+	for _, sd := range tr.Spans {
+		if sd.ID == 9 {
+			t.Error("unrelated span 9 swept into the tree")
+		}
+	}
+}
+
+// TestRecorderSlowRoot checks tail-sampling by duration: an unpinned root at
+// or above the slow threshold is kept with reason "slow".
+func TestRecorderSlowRoot(t *testing.T) {
+	r := newRecorder(16, 1000, 4)
+	r.observe(span(1, 0, 0, 999), false) // under threshold
+	r.observe(span(2, 0, 0, 1000), false)
+	if n := r.takeFaults(); n != 0 {
+		t.Errorf("slow root counted as fault: %d", n)
+	}
+	trees := r.Trees()
+	if len(trees) != 1 || trees[0].RootID != 2 || trees[0].Reason != "slow" {
+		t.Fatalf("trees = %+v, want one slow tree for root 2", trees)
+	}
+}
+
+// TestRecorderWindowSpansSurviveChurn checks a pinned tree outlives ring
+// churn: after the ring wraps many times, windowSpans still returns the
+// anomalous trace, deduplicated and sorted by (start, id).
+func TestRecorderWindowSpansSurviveChurn(t *testing.T) {
+	r := newRecorder(8, 0, 4)
+	r.observe(span(2, 1, 20, 30), true)
+	r.observe(span(1, 0, 10, 40), true)
+	// Churn the ring far past its capacity with late healthy spans.
+	id := uint64(100)
+	for i := 0; i < 50; i++ {
+		r.observe(span(id, 0, int64(1000+i*10), int64(1005+i*10)), false)
+		id++
+	}
+	if r.Total() != 52 {
+		t.Errorf("Total = %d, want 52", r.Total())
+	}
+
+	got := r.windowSpans(0, nil)
+	byID := map[uint64]bool{}
+	for _, sd := range got {
+		if byID[sd.ID] {
+			t.Errorf("duplicate span %d", sd.ID)
+		}
+		byID[sd.ID] = true
+	}
+	if !byID[1] || !byID[2] {
+		t.Error("pinned tree spans lost to ring churn")
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Start < got[i-1].Start {
+			t.Fatal("windowSpans not sorted by start")
+		}
+	}
+
+	// A window starting after the churn excludes the old ring spans but the
+	// pinned tree is always included.
+	late := r.windowSpans(2000, nil)
+	for _, sd := range late {
+		if sd.ID >= 100 && sd.End < 2000 {
+			t.Errorf("span %d ended at %d, before the window", sd.ID, sd.End)
+		}
+	}
+}
+
+// TestRecorderObserveZeroAllocs is the allocs gate for the always-on hot
+// path: feeding a closed span into the ring must not allocate, for ordinary
+// child spans and healthy roots alike.
+func TestRecorderObserveZeroAllocs(t *testing.T) {
+	r := newRecorder(1024, 0, 4)
+	child := span(7, 3, 100, 200)
+	root := span(8, 0, 100, 300)
+	if n := testing.AllocsPerRun(1000, func() {
+		r.observe(child, false)
+		r.observe(root, false)
+	}); n != 0 {
+		t.Errorf("observe allocates %.1f per op, want 0", n)
+	}
+}

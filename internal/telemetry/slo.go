@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"dpc/internal/obs"
+	"dpc/internal/stats"
+)
+
+// Objective is one declarative latency SLO, parsed from a spec like
+//
+//	p99(client.read.latency) < 800us over 1ms
+//
+// It is evaluated on the sampler's tick grid: every `window` of virtual
+// time the objective takes the histogram's bucket delta over that window
+// and compares the windowed quantile against the threshold. Windows with
+// no samples are counted as met (nothing violated). Burn rate is the
+// fraction of evaluated windows that violated — 0 is a healthy service,
+// 1 means every window burned its budget.
+type Objective struct {
+	Spec        string
+	Metric      string
+	QLabel      string // "p99"
+	Q           float64
+	ThresholdNs int64
+	WindowNs    int64
+
+	// everyTicks is the evaluation cadence in sampler ticks (window/interval,
+	// at least 1), fixed at Attach.
+	everyTicks int64
+
+	// h resolves lazily: the metric may not exist until the first op runs.
+	h         *obs.Histogram
+	prev      []int64
+	prevTotal int64
+
+	windows  int64 // evaluated windows
+	violated int64 // windows over threshold
+}
+
+// Violation is one SLO window that exceeded its threshold.
+type Violation struct {
+	TimeNs      int64  `json:"time_ns"`
+	Spec        string `json:"spec"`
+	Metric      string `json:"metric"`
+	Quantile    string `json:"quantile"`
+	ObservedNs  int64  `json:"observed_ns"`
+	ThresholdNs int64  `json:"threshold_ns"`
+	WindowNs    int64  `json:"window_ns"`
+	Samples     int64  `json:"samples"`
+}
+
+// ParseSLO parses an objective spec. Grammar:
+//
+//	p<digits> "(" metric ")" "<" duration "over" duration
+//
+// where p50/p95/p99/p999 name quantiles by decimal digits (p999 = 0.999)
+// and durations use Go syntax (800us, 1ms).
+func ParseSLO(spec string) (*Objective, error) {
+	s := strings.TrimSpace(spec)
+	open := strings.IndexByte(s, '(')
+	close := strings.IndexByte(s, ')')
+	if open <= 0 || close < open {
+		return nil, fmt.Errorf("slo %q: want p<N>(metric) < dur over dur", spec)
+	}
+	qtok := strings.TrimSpace(s[:open])
+	if len(qtok) < 2 || qtok[0] != 'p' {
+		return nil, fmt.Errorf("slo %q: bad quantile %q", spec, qtok)
+	}
+	digits, err := strconv.Atoi(qtok[1:])
+	if err != nil || digits <= 0 {
+		return nil, fmt.Errorf("slo %q: bad quantile %q", spec, qtok)
+	}
+	scale := 1.0
+	for range qtok[1:] {
+		scale *= 10
+	}
+	q := float64(digits) / scale
+	if q <= 0 || q >= 1 {
+		return nil, fmt.Errorf("slo %q: quantile %q out of (0,1)", spec, qtok)
+	}
+	metric := strings.TrimSpace(s[open+1 : close])
+	if metric == "" {
+		return nil, fmt.Errorf("slo %q: empty metric", spec)
+	}
+	rest := strings.Fields(s[close+1:])
+	if len(rest) != 4 || rest[0] != "<" || rest[2] != "over" {
+		return nil, fmt.Errorf("slo %q: want \"< <dur> over <dur>\" after metric", spec)
+	}
+	thr, err := time.ParseDuration(rest[1])
+	if err != nil || thr <= 0 {
+		return nil, fmt.Errorf("slo %q: bad threshold %q", spec, rest[1])
+	}
+	win, err := time.ParseDuration(rest[3])
+	if err != nil || win <= 0 {
+		return nil, fmt.Errorf("slo %q: bad window %q", spec, rest[3])
+	}
+	return &Objective{
+		Spec:        s,
+		Metric:      metric,
+		QLabel:      qtok,
+		Q:           q,
+		ThresholdNs: int64(thr),
+		WindowNs:    int64(win),
+	}, nil
+}
+
+// Windows returns how many windows were evaluated.
+func (o *Objective) Windows() int64 { return o.windows }
+
+// Violations returns how many evaluated windows exceeded the threshold.
+func (o *Objective) Violations() int64 { return o.violated }
+
+// BurnRate returns violated/evaluated windows (0 with no windows yet).
+func (o *Objective) BurnRate() float64 {
+	if o.windows == 0 {
+		return 0
+	}
+	return float64(o.violated) / float64(o.windows)
+}
+
+// eval runs one window evaluation at virtual time nowNs against reg,
+// returning a violation when the windowed quantile exceeds the threshold.
+// The caller drives the cadence (every everyTicks sampler ticks).
+func (o *Objective) eval(reg *obs.Registry, nowNs int64, cur []int64) (Violation, bool) {
+	if o.h == nil {
+		o.h = reg.LookupHistogram(o.Metric)
+		if o.h == nil {
+			return Violation{}, false // metric not created yet; window skipped
+		}
+		o.prev = make([]int64, stats.BucketCount())
+	}
+	total := o.h.Latency().CopyBuckets(cur)
+	wtotal := total - o.prevTotal
+	for i := range cur {
+		cur[i] -= o.prev[i]
+	}
+	qNs := stats.WindowQuantile(cur, wtotal, o.Q)
+	// Restore cur to the cumulative snapshot and roll the window forward.
+	for i := range cur {
+		cur[i] += o.prev[i]
+	}
+	copy(o.prev, cur)
+	o.prevTotal = total
+	o.windows++
+	if wtotal > 0 && qNs > o.ThresholdNs {
+		o.violated++
+		return Violation{
+			TimeNs:      nowNs,
+			Spec:        o.Spec,
+			Metric:      o.Metric,
+			Quantile:    o.QLabel,
+			ObservedNs:  qNs,
+			ThresholdNs: o.ThresholdNs,
+			WindowNs:    o.WindowNs,
+			Samples:     wtotal,
+		}, true
+	}
+	return Violation{}, false
+}

@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"dpc/internal/obs"
+	"dpc/internal/stats"
+)
+
+func TestParseSLO(t *testing.T) {
+	obj, err := ParseSLO("p99(client.read.latency) < 800us over 1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Metric != "client.read.latency" || obj.QLabel != "p99" || obj.Q != 0.99 {
+		t.Errorf("parsed %+v", obj)
+	}
+	if obj.ThresholdNs != 800_000 || obj.WindowNs != 1_000_000 {
+		t.Errorf("threshold=%d window=%d", obj.ThresholdNs, obj.WindowNs)
+	}
+
+	obj, err = ParseSLO("  p999(x) < 2ms over 10ms ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Q != 0.999 || obj.QLabel != "p999" {
+		t.Errorf("p999 parsed as q=%g label=%q", obj.Q, obj.QLabel)
+	}
+
+	for _, bad := range []string{
+		"",
+		"p99 client.read.latency < 800us over 1ms", // no parens
+		"q99(m) < 800us over 1ms",                  // not p<N>
+		"p0(m) < 800us over 1ms",                   // quantile 0
+		"p99(m) < 800us",                           // no window
+		"p99(m) > 800us over 1ms",                  // wrong comparator
+		"p99() < 800us over 1ms",                   // empty metric
+		"p99(m) < banana over 1ms",                 // bad duration
+		"p99(m) < 800us over -1ms",                 // negative window
+	} {
+		if _, err := ParseSLO(bad); err == nil {
+			t.Errorf("ParseSLO(%q) accepted", bad)
+		}
+	}
+}
+
+// TestObjectiveEval drives the window evaluation directly: a healthy window,
+// an empty window (counted as met), then a degraded window that violates.
+func TestObjectiveEval(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("m")
+	obj, err := ParseSLO("p99(m) < 200us over 1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := make([]int64, stats.BucketCount())
+
+	// Window 1: fast ops, met.
+	for i := 0; i < 100; i++ {
+		h.Observe(50 * time.Microsecond)
+	}
+	if v, bad := obj.eval(reg, 1_000_000, cur); bad {
+		t.Errorf("healthy window violated: %+v", v)
+	}
+
+	// Window 2: no samples at all — met, not a violation.
+	if v, bad := obj.eval(reg, 2_000_000, cur); bad {
+		t.Errorf("empty window violated: %+v", v)
+	}
+
+	// Window 3: slow ops dominate the tail.
+	for i := 0; i < 100; i++ {
+		h.Observe(900 * time.Microsecond)
+	}
+	v, bad := obj.eval(reg, 3_000_000, cur)
+	if !bad {
+		t.Fatal("degraded window did not violate")
+	}
+	if v.Samples != 100 || v.ObservedNs <= obj.ThresholdNs || v.TimeNs != 3_000_000 {
+		t.Errorf("violation = %+v", v)
+	}
+
+	// Window 4: healthy again — the violation must not leak into the next
+	// window through stale cumulative state.
+	for i := 0; i < 100; i++ {
+		h.Observe(50 * time.Microsecond)
+	}
+	if v, bad := obj.eval(reg, 4_000_000, cur); bad {
+		t.Errorf("recovered window still violating: %+v", v)
+	}
+
+	if obj.Windows() != 4 || obj.Violations() != 1 {
+		t.Errorf("windows=%d violations=%d, want 4/1", obj.Windows(), obj.Violations())
+	}
+	if br := obj.BurnRate(); br != 0.25 {
+		t.Errorf("burn rate = %g, want 0.25", br)
+	}
+}
+
+// TestObjectiveLazyMetric checks an objective over a metric that does not
+// exist yet skips windows instead of failing, then binds once it appears.
+func TestObjectiveLazyMetric(t *testing.T) {
+	reg := obs.NewRegistry()
+	obj, err := ParseSLO("p99(late.metric) < 200us over 1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := make([]int64, stats.BucketCount())
+	if _, bad := obj.eval(reg, 1_000_000, cur); bad || obj.Windows() != 0 {
+		t.Errorf("unbound objective evaluated: windows=%d", obj.Windows())
+	}
+	h := reg.Histogram("late.metric")
+	h.Observe(time.Millisecond)
+	if _, bad := obj.eval(reg, 2_000_000, cur); !bad {
+		t.Error("bound objective missed an over-threshold window")
+	}
+}

@@ -40,6 +40,7 @@ bench-json:
 	$(GO) run ./cmd/dpcbench -bench-out BENCH_5.json
 	$(GO) run ./cmd/dpcbench -smallio-out BENCH_6.json
 	$(GO) run ./cmd/dpcbench -ramp-out BENCH_7.json
+	$(GO) run ./cmd/dpcbench -fleet-out BENCH_8.json
 
 # Regression gate: re-run the large-I/O scenario and diff every metric
 # against the committed baseline — structural counts (ops, bytes, doorbells,
@@ -49,6 +50,7 @@ bench-compare:
 	$(GO) run ./cmd/dpcbench -baseline BENCH_3.json -compare
 	$(GO) run ./cmd/dpcbench -baseline BENCH_6.json -compare
 	$(GO) run ./cmd/dpcbench -baseline BENCH_7.json -compare
+	$(GO) run ./cmd/dpcbench -baseline BENCH_8.json -compare
 
 # Allocs-per-op gate: the steady-state client data paths (buffered RMW
 # write, cached ReadInto) and the telemetry flight-recorder ring must stay

@@ -116,6 +116,15 @@ type Client struct {
 	// override per client with SetWindow.
 	window int
 
+	// Tenant scoping. A tenant-scoped client (tenant >= 0) confines every
+	// submission to its tenant's queue group [qbase, qbase+qcount): caller
+	// qids are folded into the group, so existing thread-index conventions
+	// work unchanged over a shared driver. An unscoped client (tenant -1,
+	// qcount 0) passes qids through untouched.
+	tenant int
+	qbase  int
+	qcount int
+
 	// Observability handles, cached at construction so the hot paths never
 	// look anything up. All nil when the system has no Obs attached.
 	o      *obs.Obs
@@ -125,18 +134,56 @@ type Client struct {
 	hSync  *obs.Histogram
 }
 
-// newClient builds a client and caches its observability handles.
-func newClient(sys *System, bit uint8, host *cache.Host, ctl *cache.Ctl, sizes *sizeTable) *Client {
+// newClient builds a client and caches its observability handles. tenant -1
+// is an unscoped client (the whole queue range, the classic metric names);
+// tenant >= 0 confines the client to that tenant's queue group and registers
+// its latency histograms under the t<N>. prefix instead, so per-tenant tails
+// are separable in telemetry and dpcmon.
+func newClient(sys *System, bit uint8, host *cache.Host, ctl *cache.Ctl, sizes *sizeTable, tenant int) *Client {
 	c := &Client{sys: sys, dispatchBit: bit, cacheHost: host, ctl: ctl,
-		sizes: sizes, pool: sys.pool, window: sys.Driver.Window()}
+		sizes: sizes, pool: sys.pool, window: sys.Driver.Window(), tenant: -1}
+	if tenant >= 0 && sys.Driver.Tenants() > 0 {
+		c.tenant = tenant
+		c.qbase, c.qcount = sys.Driver.TenantQueues(tenant)
+	}
 	if o := sys.M.Obs; o.Enabled() {
 		c.o = o
-		c.hWrite = o.Histogram("client.write.latency")
-		c.hRead = o.Histogram("client.read.latency")
-		c.hMeta = o.Histogram("client.meta.latency")
-		c.hSync = o.Histogram("client.sync.latency")
+		if c.tenant >= 0 {
+			c.hWrite = o.Histogram(fmt.Sprintf("t%d.client.write.latency", c.tenant))
+			c.hRead = o.Histogram(fmt.Sprintf("t%d.client.read.latency", c.tenant))
+			c.hMeta = o.Histogram(fmt.Sprintf("t%d.client.meta.latency", c.tenant))
+			c.hSync = o.Histogram(fmt.Sprintf("t%d.client.sync.latency", c.tenant))
+		} else {
+			c.hWrite = o.Histogram("client.write.latency")
+			c.hRead = o.Histogram("client.read.latency")
+			c.hMeta = o.Histogram("client.meta.latency")
+			c.hSync = o.Histogram("client.sync.latency")
+		}
 	}
 	return c
+}
+
+// Tenant returns the client's tenant ID, or -1 for an unscoped client.
+func (c *Client) Tenant() int { return c.tenant }
+
+// mapQ folds a caller's queue ID into the client's tenant queue group; an
+// unscoped client passes it through (the driver wraps modulo Queues).
+func (c *Client) mapQ(qid int) int {
+	if c.qcount <= 0 {
+		return qid
+	}
+	if qid < 0 {
+		qid = -qid
+	}
+	return c.qbase + qid%c.qcount
+}
+
+// queueCount is the number of queues this client may spread work across.
+func (c *Client) queueCount() int {
+	if c.qcount > 0 {
+		return c.qcount
+	}
+	return c.sys.Driver.Queues()
 }
 
 // clientSpanNames maps FileOp codes to constant span names so tracing a
@@ -191,7 +238,7 @@ type File struct {
 // submit sends one nvme-fs command for this service.
 func (c *Client) submit(p *sim.Proc, qid int, sub nvmefs.Submission) nvmefs.Completion {
 	sub.Dispatch = c.dispatchBit
-	return c.sys.Driver.Submit(p, qid, sub)
+	return c.sys.Driver.Submit(p, c.mapQ(qid), sub)
 }
 
 // submitBatch enqueues a burst of commands for this service on one queue and
@@ -200,7 +247,7 @@ func (c *Client) submitBatch(p *sim.Proc, qid int, subs []nvmefs.Submission) []*
 	for i := range subs {
 		subs[i].Dispatch = c.dispatchBit
 	}
-	return c.sys.Driver.SubmitBatch(p, qid, subs)
+	return c.sys.Driver.SubmitBatch(p, c.mapQ(qid), subs)
 }
 
 // SetWindow overrides the client's in-flight window (1 = fully serial
@@ -951,7 +998,7 @@ func (c *Client) fetchPages(p *sim.Proc, qid int, ino uint64, reqs []pageFetch) 
 	if w < 1 {
 		w = 1
 	}
-	stripes := c.sys.Driver.Queues()
+	stripes := c.queueCount()
 	if stripes > w {
 		stripes = w
 	}
@@ -984,7 +1031,7 @@ func (c *Client) fetchPages(p *sim.Proc, qid int, ino uint64, reqs []pageFetch) 
 				for i := range g {
 					subs[i] = c.missSubmission(ino, reqs[g[i].idx].lpn, g[i].fallback, ps)
 				}
-				pends := c.submitBatch(p, (qid+s)%c.sys.Driver.Queues(), subs)
+				pends := c.submitBatch(p, (qid+s)%c.queueCount(), subs)
 				for i := range g {
 					g[i].pend = pends[i]
 				}

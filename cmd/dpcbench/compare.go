@@ -23,13 +23,17 @@ var exactKeys = []string{
 	"window", "ops", "bytes", "op_bytes", "mmios", "dmas", "spans", "anomalies",
 	"pios", "inline_max", "inline_writes", "inline_reads", "dma_setup_ns",
 	"workers", "reads", "ticks", "windows", "violations", "dumps", "interval_ns",
+	"tenant", "tenants", "procs", "victim_procs", "aggressor_procs", "errors",
+	"dispatched", "shed", "cost_bytes", "victim_ops", "aggressor_ops",
+	"aggressor_shed", "flood_op_bytes", "seed",
 }
 
 // quantileKeys are histogram-quantile suffixes. They get a wider band than
 // plain timing metrics: bounded-histogram quantiles move in bucket-width
 // steps (12.5% relative), so a one-bucket shift is not a regression but two
 // are.
-var quantileKeys = []string{"p50_ns", "p95_ns", "p99_ns", "p999_ns", "read_p50_ns", "read_p99_ns"}
+var quantileKeys = []string{"p50_ns", "p95_ns", "p99_ns", "p999_ns", "read_p50_ns", "read_p99_ns",
+	"victim_p50_ns", "victim_p99_ns", "victim_p999_ns"}
 
 // relTolerance is the allowed relative drift for timing-derived metrics.
 const relTolerance = 0.05
@@ -156,6 +160,18 @@ func runCompare(baselinePath string) error {
 		rep, err := buildRampReport()
 		if err != nil {
 			return fmt.Errorf("ramp scenario: %w", err)
+		}
+		report = rep
+	case "fleet-noisy-neighbor":
+		rep, err := buildFleetReport()
+		if err != nil {
+			return fmt.Errorf("fleet scenario: %w", err)
+		}
+		// The per-tenant isolation thresholds are part of the gate, not just
+		// drift vs the committed file: a change that slips the victim tail
+		// past 1.25x baseline fails even if it would be "within tolerance".
+		if err := checkFleetGates(rep); err != nil {
+			return err
 		}
 		report = rep
 	default:

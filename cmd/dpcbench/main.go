@@ -65,6 +65,8 @@ func main() {
 		baseline       = flag.String("baseline", "", "baseline JSON (e.g. BENCH_3.json) for -compare")
 		compare        = flag.Bool("compare", false, "re-run the large-I/O scenario and fail (exit 1) if metrics drift past tolerance vs -baseline")
 
+		fleetOut         = flag.String("fleet-out", "", "run the multi-tenant noisy-neighbor fleet, write its per-tenant digest (BENCH_8 shape) to this file and exit")
+		fleetTimelineOut = flag.String("fleet-timeline-out", "", "with the fleet scenario: write the drr phase's telemetry timeline JSON (per-tenant t<N>. series, dpcmon -tenant input) to this file")
 		rampOut          = flag.String("ramp-out", "", "run the staged load ramp under continuous telemetry, write its per-stage digest (BENCH_7 shape) to this file and exit")
 		timelineOut      = flag.String("timeline-out", "", "with the ramp scenario: write the sampler/SLO/flight-recorder timeline JSON to this file")
 		timelineTraceOut = flag.String("timeline-trace-out", "", "with the ramp scenario: write the Perfetto trace with metric counter tracks spliced in")
@@ -79,6 +81,16 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+
+	if *fleetOut != "" || *fleetTimelineOut != "" {
+		if err := runFleetScenario(*fleetOut, *fleetTimelineOut); err != nil {
+			fmt.Fprintln(os.Stderr, "fleet scenario:", err)
+			os.Exit(1)
+		}
+		if !*compare {
+			return
+		}
 	}
 
 	if *rampOut != "" || *timelineOut != "" || *timelineTraceOut != "" {

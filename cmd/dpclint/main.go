@@ -1,9 +1,11 @@
 // Command dpclint enforces the repo's metric-naming discipline: every
 // Counter/Gauge/Histogram registration must use a constant name, so the
 // metric namespace is greppable and the telemetry sampler's column set is
-// closed. The one sanctioned dynamic form is the per-queue convention —
-// fmt.Sprintf with a format whose only verb is a "q%d" queue index (e.g.
-// "nvmefs.q%d.sq_depth"). Anything else dynamic is rejected.
+// closed. The sanctioned dynamic forms are the per-queue and per-tenant
+// conventions — fmt.Sprintf with a format whose only verbs are a "q%d"
+// queue index (e.g. "nvmefs.q%d.sq_depth") or a "t%d" tenant index (e.g.
+// "t%d.client.read.latency", "nvmefs.t%d.shed"). Anything else dynamic is
+// rejected.
 //
 // A call site that must re-resolve names the registry itself enumerated
 // (the telemetry sampler does this) carries a `//dpclint:ok` suppression on
@@ -35,7 +37,7 @@ var metricFuncs = map[string]bool{
 }
 
 // verbRE matches a printf verb (with flags/width), for validating the
-// sanctioned q%d form.
+// sanctioned q%d / t%d forms.
 var verbRE = regexp.MustCompile(`%[#+\- 0-9.]*[a-zA-Z]`)
 
 func main() {
@@ -74,7 +76,7 @@ func main() {
 		}
 	}
 	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "dpclint: %d dynamic metric name(s); use a constant name, the q%%d queue convention, or //dpclint:ok\n", findings)
+		fmt.Fprintf(os.Stderr, "dpclint: %d dynamic metric name(s); use a constant name, the q%%d/t%%d conventions, or //dpclint:ok\n", findings)
 		os.Exit(1)
 	}
 }
@@ -123,7 +125,7 @@ func lintFile(path string) int {
 
 // nameOK reports whether the metric-name argument is acceptable: a constant
 // string expression, or a fmt.Sprintf whose format's only verbs are the
-// per-queue "q%d" convention.
+// per-queue "q%d" or per-tenant "t%d" conventions.
 func nameOK(e ast.Expr) bool {
 	if _, ok := constString(e); ok {
 		return true
@@ -145,7 +147,15 @@ func nameOK(e ast.Expr) bool {
 		return false
 	}
 	for _, v := range verbs {
-		if format[v[0]:v[1]] != "%d" || v[0] == 0 || format[v[0]-1] != 'q' {
+		if format[v[0]:v[1]] != "%d" || v[0] == 0 {
+			return false
+		}
+		// The q/t must begin a dotted name component: "q%d"/"t%d" at the
+		// start or after a '.', so "tenant%d" or "freq%d" stay rejected.
+		if c := format[v[0]-1]; c != 'q' && c != 't' {
+			return false
+		}
+		if v[0] >= 2 && format[v[0]-2] != '.' {
 			return false
 		}
 	}

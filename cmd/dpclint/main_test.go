@@ -40,6 +40,36 @@ func f(o O, qid int) {
 	}
 }
 
+func TestLintAcceptsTenantConvention(t *testing.T) {
+	src := `package x
+import "fmt"
+func f(o O, tid, qid int) {
+	o.Histogram(fmt.Sprintf("t%d.client.read.latency", tid))
+	o.Counter(fmt.Sprintf("nvmefs.t%d.shed", tid))
+	o.Gauge(fmt.Sprintf("dispatch.t%d.bytes", tid))
+	o.Gauge(fmt.Sprintf("nvmefs.t%d.q%d.depth", tid, qid))
+}
+`
+	if n := lintSource(t, src); n != 0 {
+		t.Errorf("t%%d convention flagged: %d findings", n)
+	}
+}
+
+func TestLintRejectsNonTenantVerbs(t *testing.T) {
+	src := `package x
+import "fmt"
+func f(o O, tid int, name string) {
+	o.Counter(fmt.Sprintf("tenant%d.ops", tid))
+	o.Histogram(fmt.Sprintf("t%s.client.read.latency", name))
+	o.Gauge(fmt.Sprintf("t%03d.queued", tid))
+	o.Counter(fmt.Sprintf("%d.shed", tid))
+}
+`
+	if n := lintSource(t, src); n != 4 {
+		t.Errorf("non-tenant verbs: %d findings, want 4", n)
+	}
+}
+
 func TestLintRejectsDynamicNames(t *testing.T) {
 	src := `package x
 import "fmt"

@@ -10,6 +10,12 @@
 //	dpcmon -timeline tl.json -col client.read.latency:p99
 //	                                    # print one series as time/value rows
 //	dpcmon -timeline tl.json -dump 0    # show a dump's critical-path report
+//	dpcmon -timeline tl.json -tenant 3  # only tenant 3's t3./nvmefs.t3. series
+//	dpcmon -timeline tl.json -tenants   # side-by-side per-tenant latency table
+//
+// The tenant views read the t<N>. metric prefix convention of multi-tenant
+// runs (`dpcbench -fleet-timeline-out`): a series belongs to tenant N when
+// its metric starts with "t<N>." or has a ".t<N>." component.
 //
 // All output is deterministic for a given input file.
 package main
@@ -20,6 +26,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // timeline mirrors telemetry's export shape (decoded loosely so dpcmon can
@@ -72,6 +80,8 @@ func main() {
 		series = flag.Bool("series", false, "list every recorded series with min/max")
 		col    = flag.String("col", "", "print one series as time_ns<TAB>value rows")
 		dump   = flag.Int("dump", -1, "show one dump: its span tree roots and critical-path report")
+		tenant = flag.Int("tenant", -1, "list only this tenant's series (t<N>. prefix convention)")
+		tens   = flag.Bool("tenants", false, "side-by-side per-tenant read-latency and scheduler table")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -91,13 +101,79 @@ func main() {
 
 	switch {
 	case *series:
-		listSeries(&tl)
+		listSeries(&tl, func(string) bool { return true })
+	case *tenant >= 0:
+		listSeries(&tl, func(name string) bool { return tenantOf(name) == *tenant })
+	case *tens:
+		tenantTable(&tl)
 	case *col != "":
 		printColumn(&tl, *col)
 	case *dump >= 0:
 		showDump(&tl, *dump)
 	default:
 		overview(&tl)
+	}
+}
+
+// tenantOf extracts the t<N>. metric-prefix tenant from a series name
+// ("t3.client.read.latency:p99", "nvmefs.t3.dispatched:rate"), -1 when the
+// series is not tenant-scoped.
+func tenantOf(name string) int {
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		name = name[:i]
+	}
+	for _, part := range strings.Split(name, ".") {
+		if len(part) > 1 && part[0] == 't' {
+			if n, err := strconv.Atoi(part[1:]); err == nil && n >= 0 {
+				return n
+			}
+		}
+	}
+	return -1
+}
+
+// maxValue returns the largest sample of a column (0 when absent or empty).
+func maxValue(tl *timeline, name string) float64 {
+	max := 0.0
+	for _, v := range tl.Series.Columns[name] {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// tenantTable prints one row per tenant: the worst-window read-latency
+// quantiles of its t<N>.client.read.latency histogram side by side (the
+// quantile columns are windowed, so the max over ticks is the worst sampling
+// window — idle trailing windows report zero and never win), plus the
+// scheduler's peak queue depth and shed rate for the tenant.
+func tenantTable(tl *timeline) {
+	tenants := map[int]bool{}
+	for name := range tl.Series.Columns {
+		if t := tenantOf(name); t >= 0 {
+			tenants[t] = true
+		}
+	}
+	if len(tenants) == 0 {
+		fmt.Println("no tenant-scoped series (t<N>. prefix) in this timeline")
+		return
+	}
+	ids := make([]int, 0, len(tenants))
+	for t := range tenants {
+		ids = append(ids, t)
+	}
+	sort.Ints(ids)
+	fmt.Printf("%-7s %-10s %-10s %-10s %-10s %-10s\n",
+		"tenant", "read_p50", "read_p99", "read_p999", "peak_queue", "peak_shed/s")
+	for _, t := range ids {
+		read := fmt.Sprintf("t%d.client.read.latency", t)
+		fmt.Printf("t%-6d %-10s %-10s %-10s %-10.0f %-10.0f\n", t,
+			fmtNs(int64(maxValue(tl, read+":p50"))),
+			fmtNs(int64(maxValue(tl, read+":p99"))),
+			fmtNs(int64(maxValue(tl, read+":p999"))),
+			maxValue(tl, fmt.Sprintf("nvmefs.t%d.queued:last", t)),
+			maxValue(tl, fmt.Sprintf("nvmefs.t%d.shed:rate", t)))
 	}
 }
 
@@ -157,10 +233,16 @@ func overview(tl *timeline) {
 	}
 }
 
-func listSeries(tl *timeline) {
+func listSeries(tl *timeline, keep func(string) bool) {
 	names := make([]string, 0, len(tl.Series.Columns))
 	for k := range tl.Series.Columns {
-		names = append(names, k)
+		if keep(k) {
+			names = append(names, k)
+		}
+	}
+	if len(names) == 0 {
+		fmt.Println("no matching series")
+		return
 	}
 	sort.Strings(names)
 	for _, name := range names {

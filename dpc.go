@@ -29,6 +29,7 @@
 package dpc
 
 import (
+	"fmt"
 	"time"
 
 	"dpc/internal/bufpool"
@@ -177,6 +178,9 @@ func New(opts Options) *System {
 
 	sys.Dispatcher = dispatch.New(m, sys.kvfsSvc, sys.dfsSvc)
 	sys.Driver = nvmefs.NewDriver(m, opts.NvmeFS, sys.handle)
+	if n := sys.Driver.Tenants(); n > 0 {
+		sys.Dispatcher.EnableTenants(n)
+	}
 
 	if len(opts.Faults) > 0 {
 		sys.Faults = fault.New(m.Eng, opts.Faults)
@@ -252,7 +256,7 @@ func (sys *System) KVFSClient() *Client {
 	if sys.kvfsSvc == nil {
 		panic("dpc: KVFS not enabled")
 	}
-	return newClient(sys, 0, sys.kvfsHost, sys.kvfsSvc.Ctl, sys.kvfsSizes)
+	return newClient(sys, 0, sys.kvfsHost, sys.kvfsSvc.Ctl, sys.kvfsSizes, -1)
 }
 
 // DFSClient returns a client of the distributed file service.
@@ -260,7 +264,32 @@ func (sys *System) DFSClient() *Client {
 	if sys.dfsSvc == nil {
 		panic("dpc: DFS not enabled")
 	}
-	return newClient(sys, 1, sys.dfsHost, sys.dfsSvc.Ctl, sys.dfsSizes)
+	return newClient(sys, 1, sys.dfsHost, sys.dfsSvc.Ctl, sys.dfsSizes, -1)
+}
+
+// TenantKVFSClient returns a KVFS client confined to tenant t's queue group
+// of a multi-tenant driver: every submission lands on t's SQ/CQ subset and
+// the client's latency histograms register under the t<N>. metric prefix.
+// Panics unless the driver was built with >= 2 Config.Tenants entries.
+func (sys *System) TenantKVFSClient(t int) *Client {
+	if sys.kvfsSvc == nil {
+		panic("dpc: KVFS not enabled")
+	}
+	if n := sys.Driver.Tenants(); t < 0 || t >= n {
+		panic(fmt.Sprintf("dpc: tenant %d outside the %d configured tenants", t, n))
+	}
+	return newClient(sys, 0, sys.kvfsHost, sys.kvfsSvc.Ctl, sys.kvfsSizes, t)
+}
+
+// TenantDFSClient is TenantKVFSClient for the distributed file service.
+func (sys *System) TenantDFSClient(t int) *Client {
+	if sys.dfsSvc == nil {
+		panic("dpc: DFS not enabled")
+	}
+	if n := sys.Driver.Tenants(); t < 0 || t >= n {
+		panic(fmt.Sprintf("dpc: tenant %d outside the %d configured tenants", t, n))
+	}
+	return newClient(sys, 1, sys.dfsHost, sys.dfsSvc.Ctl, sys.dfsSizes, t)
 }
 
 // buildTransform assembles the optional block-transform chain: compression

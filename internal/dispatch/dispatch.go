@@ -2,6 +2,7 @@ package dispatch
 
 import (
 	"errors"
+	"fmt"
 
 	"dpc/internal/cache"
 	"dpc/internal/dfs"
@@ -76,6 +77,11 @@ type Dispatcher struct {
 	Requests   stats.Counter
 	CacheFills stats.Counter
 
+	// Per-tenant accounting, populated by EnableTenants on multi-tenant
+	// systems; empty (zero registrations, zero per-request work) otherwise.
+	tenantReqs  []*obs.Counter
+	tenantBytes []*obs.Counter
+
 	// obs mirrors, cached at construction; nil no-op sinks when disabled.
 	o           *obs.Obs
 	oRequests   *obs.Counter
@@ -93,6 +99,19 @@ func New(m *model.Machine, kvfsSvc, dfsSvc *Service) *Dispatcher {
 		d.oCacheFills = o.Counter("dispatch.cache_fills")
 	}
 	return d
+}
+
+// EnableTenants registers per-tenant request/byte counters for n tenants.
+// Called once at system assembly on multi-tenant drivers; single-tenant
+// systems never call it, keeping their metric key set unchanged.
+func (d *Dispatcher) EnableTenants(n int) {
+	if d.o == nil || n < 2 || d.tenantReqs != nil {
+		return
+	}
+	for t := 0; t < n; t++ {
+		d.tenantReqs = append(d.tenantReqs, d.o.Counter(fmt.Sprintf("dispatch.t%d.requests", t)))
+		d.tenantBytes = append(d.tenantBytes, d.o.Counter(fmt.Sprintf("dispatch.t%d.bytes", t)))
+	}
 }
 
 // opSpanNames maps FileOp codes to constant span names so the traced path
@@ -140,6 +159,10 @@ func (d *Dispatcher) Handle(p *sim.Proc, req nvmefs.Request) nvmefs.Response {
 func (d *Dispatcher) handle(p *sim.Proc, req nvmefs.Request) nvmefs.Response {
 	d.Requests.Inc()
 	d.oRequests.Inc()
+	if req.Tenant >= 0 && req.Tenant < len(d.tenantReqs) {
+		d.tenantReqs[req.Tenant].Inc()
+		d.tenantBytes[req.Tenant].Add(int64(req.SQE.WriteLen) + int64(req.SQE.ReadLen))
+	}
 	svc := d.services[req.SQE.Dispatch&1]
 	if svc == nil {
 		return nvmefs.Response{Status: nvme.StatusInvalid}

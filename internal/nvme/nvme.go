@@ -199,12 +199,13 @@ const (
 	StatusTimeout   // host-side deadline expired; command aborted
 	StatusCorrupt   // command image failed validation in flight
 	StatusReset     // command failed by a controller reset
+	StatusOverload  // shed by DPU admission control; retry after backoff
 )
 
 // StatusString renders a status code.
 func StatusString(s uint16) string {
 	names := []string{"OK", "INVALID", "NOT_FOUND", "EXISTS", "NO_SPACE", "NOT_EMPTY", "IS_DIR", "NOT_DIR", "IO_ERROR",
-		"TRANSIENT", "TIMEOUT", "CORRUPT", "RESET"}
+		"TRANSIENT", "TIMEOUT", "CORRUPT", "RESET", "OVERLOAD"}
 	if int(s) < len(names) {
 		return names[s]
 	}
@@ -216,7 +217,7 @@ func StatusString(s uint16) string {
 // protocol guarantees at-most-once execution of non-idempotent ops).
 func Retryable(s uint16) bool {
 	switch s {
-	case StatusTransient, StatusTimeout, StatusCorrupt, StatusReset:
+	case StatusTransient, StatusTimeout, StatusCorrupt, StatusReset, StatusOverload:
 		return true
 	}
 	return false

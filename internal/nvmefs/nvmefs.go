@@ -29,6 +29,7 @@ import (
 // Request is a decoded command as seen by the DPU-side handler.
 type Request struct {
 	QID    int
+	Tenant int // owning tenant of the queue the command arrived on; -1 when single-tenant
 	SQE    nvme.SQE
 	Header []byte // WH_len request header bytes
 	Data   []byte // write payload after the header
@@ -46,6 +47,29 @@ type Response struct {
 // Handler executes a request on the DPU (the IO_Dispatch module and the
 // stacks behind it).
 type Handler func(p *sim.Proc, req Request) Response
+
+// TenantConfig is one tenant's share of the virtualized transport: its
+// scheduling weight, and the hard budgets the DPU-side scheduler enforces
+// against it. Zero values mean "unlimited" for the budgets and weight 1 for
+// the share.
+type TenantConfig struct {
+	// Weight scales the tenant's deficit-round-robin quantum: a weight-2
+	// tenant earns twice the dispatch bytes per round of a weight-1 tenant
+	// when both are backlogged. 0 means 1.
+	Weight int
+	// MaxInflight caps commands dispatched (pulled + executing) but not yet
+	// completed for this tenant. 0 = unlimited.
+	MaxInflight int
+	// BandwidthBps is a token-bucket rate limit on dispatched SQE cost
+	// (command overhead + payload bytes both directions) per second of
+	// virtual time. 0 = unlimited.
+	BandwidthBps int64
+	// MaxQueued bounds the tenant's ready queue on the DPU: a command
+	// arriving past the bound is shed at admission with StatusOverload
+	// (retryable — the host backs off and resubmits) before any PRP or
+	// payload DMA is spent on it. 0 = unlimited.
+	MaxQueued int
+}
 
 // Config sizes the driver.
 type Config struct {
@@ -80,6 +104,29 @@ type Config struct {
 	RetryMax       time.Duration // backoff cap (default 640µs)
 	ResetThreshold int           // consecutive timeouts that trigger a controller reset (default 8)
 	ResetDelay     time.Duration // modeled cost of a controller reset (default 200µs)
+
+	// Tenants virtualizes the transport into per-tenant queue groups
+	// (SR-IOV style): with N >= 2 entries, the Queues SQ/CQ pairs are
+	// partitioned contiguously — tenant t owns Queues/N pairs starting at
+	// t*Queues/N — and a DPU-side scheduler arbitrates between queue drain
+	// and dispatch: deficit-round-robin weighted by TenantConfig.Weight over
+	// SQE cost estimates, per-tenant inflight and bandwidth budgets, and
+	// admission shedding past MaxQueued. Queues must divide evenly.
+	//
+	// Empty or single-entry (the default) leaves the transport exactly as
+	// before: no scheduler procs, no per-tenant metrics, TGT threads hand
+	// work straight to workers — byte-identical to builds without tenancy.
+	Tenants []TenantConfig
+
+	// SchedFIFO replaces the weighted-fair policy with strict FIFO arrival
+	// order across all tenants — same dispatch-worker topology, no budgets,
+	// no shedding. This is the "scheduler off" arm of the noisy-neighbor
+	// A/B: queue groups and workers identical, arbitration policy removed.
+	SchedFIFO bool
+
+	// DispatchWorkers bounds the DPU-side dispatch/execute procs the
+	// scheduler feeds (multi-tenant mode only). 0 means 8.
+	DispatchWorkers int
 }
 
 // DefaultConfig suits small-I/O experiments: 32 queues so application
@@ -134,6 +181,9 @@ type queueState struct {
 	qp       *nvme.QueuePair
 	doorbell mem.Addr
 	kick     *sim.Mailbox[struct{}]
+
+	// tenant owns this queue pair in multi-tenant mode; -1 single-tenant.
+	tenant int
 
 	slabBase mem.Addr
 	wStride  int
@@ -285,6 +335,10 @@ type Driver struct {
 	inflight     int64
 	inflightPeak int64
 
+	// sched arbitrates between queue drain and dispatch in multi-tenant
+	// mode; nil (the default) means TGT threads dispatch directly.
+	sched *scheduler
+
 	// faults is the injector consulted on the TGT and completion paths;
 	// nil (the default) means no injection, no deadlines, no extra events.
 	faults *fault.Injector
@@ -350,6 +404,15 @@ func NewDriver(m *model.Machine, cfg Config, handler Handler) *Driver {
 	if cfg.InlineMax > cfg.MaxIO {
 		cfg.InlineMax = cfg.MaxIO
 	}
+	multiTenant := len(cfg.Tenants) >= 2
+	if multiTenant {
+		if cfg.Queues%len(cfg.Tenants) != 0 {
+			panic(fmt.Sprintf("nvmefs: %d queues do not partition over %d tenants", cfg.Queues, len(cfg.Tenants)))
+		}
+		if cfg.DispatchWorkers <= 0 {
+			cfg.DispatchWorkers = 8
+		}
+	}
 	d := &Driver{m: m, cfg: cfg, handler: handler}
 	if o := m.Obs; o.Enabled() {
 		d.o = o
@@ -375,8 +438,13 @@ func NewDriver(m *model.Machine, cfg Config, handler Handler) *Driver {
 	for qid := 0; qid < cfg.Queues; qid++ {
 		sqBase := m.AllocHost(cfg.Depth*nvme.SQESize, 4096)
 		cqBase := m.AllocHost(cfg.Depth*nvme.CQESize, 4096)
+		tenant := -1
+		if multiTenant {
+			tenant = qid / (cfg.Queues / len(cfg.Tenants))
+		}
 		qs := &queueState{
 			qp:       nvme.NewQueuePair(qid, sqBase, cqBase, cfg.Depth),
+			tenant:   tenant,
 			doorbell: m.AllocDPU(8, 8),
 			kick:     sim.NewMailbox[struct{}](m.Eng, fmt.Sprintf("nvme-kick-%d", qid), 1),
 			slotCond: sim.NewCond(m.Eng, "nvme-slots"),
@@ -412,8 +480,37 @@ func NewDriver(m *model.Machine, cfg Config, handler Handler) *Driver {
 		d.queues = append(d.queues, qs)
 		m.Eng.Go(fmt.Sprintf("nvme-tgt-%d", qid), func(p *sim.Proc) { d.tgtLoop(p, qs) })
 	}
+	if multiTenant {
+		d.sched = newScheduler(d)
+		for w := 0; w < cfg.DispatchWorkers; w++ {
+			m.Eng.Go(fmt.Sprintf("nvme-dispatch-%d", w), d.dispatchLoop)
+		}
+	}
 	return d
 }
+
+// Tenants returns the number of configured tenants (0 when the transport is
+// not virtualized).
+func (d *Driver) Tenants() int {
+	if len(d.cfg.Tenants) < 2 {
+		return 0
+	}
+	return len(d.cfg.Tenants)
+}
+
+// TenantQueues returns tenant t's contiguous queue-group slice [base,
+// base+count). Single-tenant drivers report the whole queue range for t=0.
+func (d *Driver) TenantQueues(t int) (base, count int) {
+	n := d.Tenants()
+	if n == 0 {
+		return 0, d.cfg.Queues
+	}
+	count = d.cfg.Queues / n
+	return t * count, count
+}
+
+// TenantOf maps a queue ID to its owning tenant (-1 when single-tenant).
+func (d *Driver) TenantOf(qid int) int { return d.queues[qid%len(d.queues)].tenant }
 
 // SetFaults attaches a fault injector: the TGT and completion paths start
 // consulting it, and every enqueue arms a per-command deadline event. The
@@ -901,12 +998,54 @@ func (d *Driver) tgtLoop(p *sim.Proc, qs *queueState) {
 	}
 }
 
+// fetched carries one consumed SQE from queue drain to dispatch: everything
+// the TGT learned before any buffer was pulled. In multi-tenant mode it is
+// the scheduler's unit of work — the PRP and payload DMAs are deferred until
+// the scheduler actually dispatches it, so a shed or dead command never
+// spends PCIe bandwidth.
+type fetched struct {
+	qs   *queueState
+	sqe  nvme.SQE
+	in   []byte // inline write bytes, copied out of the window at fetch time
+	gen  int    // queue generation the SQE was fetched under
+	ts   obs.Span
+	enq  sim.Time // fetch instant; scheduler wait = dispatch instant − enq
+	cost int64    // dispatch cost estimate: command overhead + bytes both ways
+}
+
 // processOne consumes one SQE: the 4-DMA path of Figure 4. The TGT thread
-// performs the SQE fetch, parse and payload pull synchronously (they keep
-// queue order), then hands the request to a worker process so slow file
-// stacks do not serialize the queue (DPFS's single HAL thread does exactly
-// that, which is part of why it cannot scale).
+// performs the SQE fetch and parse synchronously (they keep queue order),
+// then hands the request to a worker process so slow file stacks do not
+// serialize the queue (DPFS's single HAL thread does exactly that, which is
+// part of why it cannot scale). In multi-tenant mode the hand-off goes
+// through the DPU scheduler instead: the TGT only drains and admits; the
+// payload pull and execution happen when the weighted-fair policy dispatches
+// the command to a worker.
 func (d *Driver) processOne(p *sim.Proc, qs *queueState) {
+	f, ok := d.fetchOne(p, qs)
+	if !ok {
+		return
+	}
+	if d.sched != nil {
+		d.sched.offer(p, f)
+		f.ts.End(p)
+		return
+	}
+	req, ok := d.pullBuffers(p, f)
+	if !ok {
+		f.ts.End(p)
+		return
+	}
+	d.m.Eng.Go("nvme-worker", func(wp *sim.Proc) { d.execute(wp, f, req) })
+	f.ts.End(p)
+}
+
+// fetchOne performs the queue-order part of the TGT path: the SQE fetch
+// (①), the inline-window copy-out, SQHead advance, fault hooks, parse,
+// validation and the command-liveness check. ok=false means the SQE was
+// consumed but produced no dispatchable work (dropped, failed, or already
+// aborted); the span is closed and any failure completion already posted.
+func (d *Driver) fetchOne(p *sim.Proc, qs *queueState) (fetched, bool) {
 	costs := d.m.Cfg.Costs
 	link := d.m.PCIe
 	hm := d.m.HostMem
@@ -932,7 +1071,7 @@ func (d *Driver) processOne(p *sim.Proc, qs *queueState) {
 		// bytes belong to the old generation. Drop them without touching
 		// the (already re-zeroed) head index.
 		ts.End(p)
-		return
+		return fetched{}, false
 	}
 	// An inline write's bytes live in the window slot tied to this ring
 	// position. They must be copied out device-locally BEFORE SQHead
@@ -971,7 +1110,7 @@ func (d *Driver) processOne(p *sim.Proc, qs *queueState) {
 			// so the retry executes fresh).
 			d.WorkerCrashes++
 			ts.End(p)
-			return
+			return fetched{}, false
 		case fault.KindFreeze:
 			// FrozenUntil was set by At; the stall starts here and every
 			// other queue picks it up at its next fetch.
@@ -985,7 +1124,7 @@ func (d *Driver) processOne(p *sim.Proc, qs *queueState) {
 		// it and drop; the submitter's deadline turns this into a retry.
 		d.CorruptSQEs++
 		ts.End(p)
-		return
+		return fetched{}, false
 	}
 	ts.SetParent(qs.spanOf[sqe.CID])
 	d.m.DPUExec(p, costs.DPUCmdParse)
@@ -1000,7 +1139,7 @@ func (d *Driver) processOne(p *sim.Proc, qs *queueState) {
 		}
 		d.complete(p, qs, gen, sqe, Response{Status: status})
 		ts.End(p)
-		return
+		return fetched{}, false
 	}
 	// The command must still be live before its buffers are read: an
 	// injected stall between the SQE fetch and here (a freeze outlasts the
@@ -1010,29 +1149,49 @@ func (d *Driver) processOne(p *sim.Proc, qs *queueState) {
 	// Dropping is safe: the deadline already turned this into a retry.
 	if qs.gen != gen {
 		ts.End(p)
-		return
+		return fetched{}, false
 	}
 	if pd := qs.pending[sqe.CID]; pd == nil || pd.done || pd.token != sqe.Token {
 		ts.End(p)
-		return
+		return fetched{}, false
 	}
+	return fetched{qs: qs, sqe: sqe, in: inBytes, gen: gen, ts: ts, enq: p.Now(),
+		cost: sqeCostEstimate(sqe)}, true
+}
+
+// sqeCostEstimate is the scheduler's per-command cost in bytes: a fixed
+// command overhead (SQE + PRP + CQE traffic) plus the declared transfer
+// lengths in both directions. It is computable before any buffer DMA, which
+// is what lets admission control shed a command at zero PCIe cost.
+func sqeCostEstimate(sqe nvme.SQE) int64 {
+	return 512 + int64(sqe.WriteLen) + int64(sqe.ReadLen)
+}
+
+// pullBuffers performs steps ② and ③ for a fetched command: the PRP/header
+// fetch and the payload pull (both skipped for inline writes, which already
+// delivered their bytes through the window). ok=false means the window bytes
+// could not satisfy a corrupted inline SQE; a retryable completion was
+// already posted.
+func (d *Driver) pullBuffers(p *sim.Proc, f fetched) (Request, bool) {
+	link := d.m.PCIe
+	hm := d.m.HostMem
+	qs, sqe, gen := f.qs, f.sqe, f.gen
 	// ② Locate the data buffer: the PRP/buffer-descriptor fetch also
 	// brings in the 64-byte file-semantic request header that sits at the
 	// head of the write buffer. An inline write already delivered both
 	// header and payload through the window — steps ② and ③ vanish.
-	req := Request{QID: qs.qp.ID, SQE: sqe}
+	req := Request{QID: qs.qp.ID, Tenant: qs.tenant, SQE: sqe}
 	switch {
 	case sqe.PSDTWrite == nvme.PSDTInline && sqe.WriteLen > 0:
-		if inBytes == nil || len(inBytes) < int(sqe.WHLen) {
+		if f.in == nil || len(f.in) < int(sqe.WHLen) {
 			// The peek ran on pre-corruption bytes; a mangled PSDT bit or
 			// length cannot be satisfied from the window. Fail retryably.
 			d.complete(p, qs, gen, sqe, Response{Status: nvme.StatusCorrupt})
-			ts.End(p)
-			return
+			return Request{}, false
 		}
-		req.Header = inBytes[:sqe.WHLen]
-		if len(inBytes) > 64 {
-			req.Data = inBytes[64:]
+		req.Header = f.in[:sqe.WHLen]
+		if len(f.in) > 64 {
+			req.Data = f.in[64:]
 		}
 	case sqe.WriteLen > 0:
 		prpFrom := p.Now()
@@ -1058,77 +1217,114 @@ func (d *Driver) processOne(p *sim.Proc, qs *queueState) {
 			}
 		}
 	}
-	d.m.Eng.Go("nvme-worker", func(wp *sim.Proc) {
-		ws := d.o.BeginChild(wp, ts, "nvmefs.worker")
-		var resp Response
-		if cached, ok := qs.execGet(sqe.Token); ok {
-			// This token already executed (a retry of a command whose
-			// completion was lost): replay the recorded response instead of
-			// running the handler a second time.
-			d.DedupHits++
-			if d.oDedup != nil {
-				d.oDedup.Inc()
-			}
-			resp = cached
-		} else {
-			resp = d.handler(wp, req)
-			// Record the response for retry dedup — except retryable
-			// statuses: those mean the op did NOT take effect, so a retry
-			// must re-execute it rather than replay the failure forever.
-			if d.faults != nil && !nvme.Retryable(resp.Status) {
-				qs.execPut(d.cfg.Depth, sqe.Token, resp)
-			}
+	return req, true
+}
+
+// execute runs a dispatched command to completion: dedup lookup, handler,
+// response write-back (④ rides in complete). In single-tenant mode it runs
+// on a per-command nvme-worker proc; in multi-tenant mode it runs inline on
+// the dispatch worker the scheduler granted the command to.
+func (d *Driver) execute(wp *sim.Proc, f fetched, req Request) {
+	link := d.m.PCIe
+	hm := d.m.HostMem
+	qs, sqe, gen := f.qs, f.sqe, f.gen
+	ws := d.o.BeginChild(wp, f.ts, "nvmefs.worker")
+	var resp Response
+	if cached, ok := qs.execGet(sqe.Token); ok {
+		// This token already executed (a retry of a command whose
+		// completion was lost): replay the recorded response instead of
+		// running the handler a second time.
+		d.DedupHits++
+		if d.oDedup != nil {
+			d.oDedup.Inc()
 		}
-		// Write back the response header + data, one contiguous DMA — but
-		// only while the command is still live: if its deadline expired or
-		// a reset failed it, the slot the PRP points at may already belong
-		// to another command, and writing into it would corrupt that
-		// command's response. (The abort path quarantines slots for
-		// slotGrace, which outlasts any transfer that passed this check.)
-		live := func() bool {
-			if qs.gen != gen {
-				return false
-			}
-			pd := qs.pending[sqe.CID]
-			return pd != nil && pd.token == sqe.Token
+		resp = cached
+	} else {
+		resp = d.handler(wp, req)
+		// Record the response for retry dedup — except retryable
+		// statuses: those mean the op did NOT take effect, so a retry
+		// must re-execute it rather than replay the failure forever.
+		if d.faults != nil && !nvme.Retryable(resp.Status) {
+			qs.execPut(d.cfg.Depth, sqe.Token, resp)
 		}
-		if sqe.ReadLen > 0 && resp.Status == nvme.StatusOK && (len(resp.Header) > 0 || len(resp.Data) > 0) {
-			if len(resp.Header) > int(sqe.RHLen) {
-				// A handler bug, not a transport fault: fail the command
-				// cleanly instead of crashing the TGT.
-				d.HeaderOverflows++
-				resp = Response{Status: nvme.StatusIOError}
-			} else if sqe.PSDTRead == nvme.PSDTInline {
-				// Inline read: no data-out DMA here. complete() folds the
-				// response into the enlarged-CQE window in one transfer.
-				if len(resp.Data) > int(sqe.ReadLen)-d.cfg.RHCap {
-					resp.Data = resp.Data[:int(sqe.ReadLen)-d.cfg.RHCap]
-				}
-				d.InlineBytes += int64(len(resp.Data))
-				d.oInlineB.Add(int64(len(resp.Data)))
-				resp.Result = uint32(len(resp.Data))
-			} else if live() {
-				out := make([]byte, d.cfg.RHCap+len(resp.Data))
-				copy(out, resp.Header)
-				copy(out[d.cfg.RHCap:], resp.Data)
-				if len(out) > int(sqe.ReadLen) {
-					out = out[:sqe.ReadLen]
-				}
-				outFrom := wp.Now()
-				link.DMAWrite(wp, hm, mem.Addr(sqe.PRPRead[0]), out, "data-out")
-				if n := len(out); d.cfg.InlineMax > 0 && n >= 4096 {
-					if dur := (float64(wp.Now()-outFrom) - qs.setupObs) / float64(n); dur > 0 {
-						ewma(&qs.dmaPerByte, dur)
-						d.recalcCutover(qs)
-					}
-				}
-				resp.Result = uint32(len(resp.Data))
-			}
+	}
+	// Write back the response header + data, one contiguous DMA — but
+	// only while the command is still live: if its deadline expired or
+	// a reset failed it, the slot the PRP points at may already belong
+	// to another command, and writing into it would corrupt that
+	// command's response. (The abort path quarantines slots for
+	// slotGrace, which outlasts any transfer that passed this check.)
+	live := func() bool {
+		if qs.gen != gen {
+			return false
 		}
-		d.complete(wp, qs, gen, sqe, resp)
-		ws.End(wp)
-	})
-	ts.End(p)
+		pd := qs.pending[sqe.CID]
+		return pd != nil && pd.token == sqe.Token
+	}
+	if sqe.ReadLen > 0 && resp.Status == nvme.StatusOK && (len(resp.Header) > 0 || len(resp.Data) > 0) {
+		if len(resp.Header) > int(sqe.RHLen) {
+			// A handler bug, not a transport fault: fail the command
+			// cleanly instead of crashing the TGT.
+			d.HeaderOverflows++
+			resp = Response{Status: nvme.StatusIOError}
+		} else if sqe.PSDTRead == nvme.PSDTInline {
+			// Inline read: no data-out DMA here. complete() folds the
+			// response into the enlarged-CQE window in one transfer.
+			if len(resp.Data) > int(sqe.ReadLen)-d.cfg.RHCap {
+				resp.Data = resp.Data[:int(sqe.ReadLen)-d.cfg.RHCap]
+			}
+			d.InlineBytes += int64(len(resp.Data))
+			d.oInlineB.Add(int64(len(resp.Data)))
+			resp.Result = uint32(len(resp.Data))
+		} else if live() {
+			out := make([]byte, d.cfg.RHCap+len(resp.Data))
+			copy(out, resp.Header)
+			copy(out[d.cfg.RHCap:], resp.Data)
+			if len(out) > int(sqe.ReadLen) {
+				out = out[:sqe.ReadLen]
+			}
+			outFrom := wp.Now()
+			link.DMAWrite(wp, hm, mem.Addr(sqe.PRPRead[0]), out, "data-out")
+			if n := len(out); d.cfg.InlineMax > 0 && n >= 4096 {
+				if dur := (float64(wp.Now()-outFrom) - qs.setupObs) / float64(n); dur > 0 {
+					ewma(&qs.dmaPerByte, dur)
+					d.recalcCutover(qs)
+				}
+			}
+			resp.Result = uint32(len(resp.Data))
+		}
+	}
+	d.complete(wp, qs, gen, sqe, resp)
+	ws.End(wp)
+}
+
+// dispatchLoop is one DPU dispatch worker: it pulls scheduler grants and
+// runs them to completion. Workers are the execution concurrency bound in
+// multi-tenant mode — the analogue of the DPU's core budget.
+func (d *Driver) dispatchLoop(p *sim.Proc) {
+	for {
+		f := d.sched.next(p)
+		d.dispatchOne(p, f)
+	}
+}
+
+// dispatchOne re-validates a scheduler grant and executes it. The liveness
+// re-check matters: the command may have timed out or been failed by a
+// reset while it sat in the scheduler's ready queue, in which case its slot
+// may already belong to another command and must not be touched.
+func (d *Driver) dispatchOne(p *sim.Proc, f fetched) {
+	qs := f.qs
+	live := qs.gen == f.gen
+	if live {
+		pd := qs.pending[f.sqe.CID]
+		live = pd != nil && !pd.done && pd.token == f.sqe.Token
+	}
+	if live {
+		if req, ok := d.pullBuffers(p, f); ok {
+			d.execute(p, f, req)
+		}
+	}
+	d.sched.done(p, qs.tenant)
 }
 
 // complete posts the CQE (④) and interrupts the host. The interrupt

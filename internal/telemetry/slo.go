@@ -53,6 +53,24 @@ type Violation struct {
 	Samples     int64  `json:"samples"`
 }
 
+// ExpandTenantSLOs expands a per-tenant objective template over n tenants:
+// every "t*." in the spec's metric becomes "t<N>." for N in [0, n). A spec
+// without the wildcard comes back unchanged as a single-element slice, so
+// callers can mix global and per-tenant objectives in one list.
+//
+//	ExpandTenantSLOs("p999(t*.client.read.latency) < 500us over 1ms", 3)
+//	  => [p999(t0.client.read.latency) ..., t1 ..., t2 ...]
+func ExpandTenantSLOs(spec string, n int) []string {
+	if !strings.Contains(spec, "t*.") || n <= 0 {
+		return []string{spec}
+	}
+	out := make([]string, 0, n)
+	for t := 0; t < n; t++ {
+		out = append(out, strings.ReplaceAll(spec, "t*.", fmt.Sprintf("t%d.", t)))
+	}
+	return out
+}
+
 // ParseSLO parses an objective spec. Grammar:
 //
 //	p<digits> "(" metric ")" "<" duration "over" duration

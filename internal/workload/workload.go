@@ -81,6 +81,17 @@ func SequentialGen(ioSize int, fileSize uint64, kind OpKind) Generator {
 // most accesses — the access pattern where recency-aware cache replacement
 // pays off.
 func ZipfGen(ioSize int, fileSize uint64, s float64) Generator {
+	return ZipfGenAt(ioSize, fileSize, s, 0)
+}
+
+// ZipfGenAt is ZipfGen with a distinct working set: base rotates the
+// rank→page scatter, so generators with different bases concentrate their
+// hot ranks on disjoint page regions of the same file. Every tenant of a
+// multi-tenant run gets its own base (e.g. tenant*pages/tenants), which is
+// what makes their hot sets non-colliding — the plain ZipfGen (base 0)
+// previously gave every generator the exact same hot pages. base 0 is
+// byte-identical to ZipfGen.
+func ZipfGenAt(ioSize int, fileSize uint64, s float64, base uint64) Generator {
 	pages := fileSize / uint64(ioSize)
 	if pages == 0 {
 		panic(fmt.Sprintf("workload: file %d smaller than I/O %d", fileSize, ioSize))
@@ -99,10 +110,26 @@ func ZipfGen(ioSize int, fileSize uint64, s float64) Generator {
 			zipfs[rng] = z
 		}
 		pg := z.Uint64()
-		// Scatter the rank->page mapping so hot pages spread over buckets.
-		pg = pg * 2654435761 % pages
+		// Scatter the rank->page mapping so hot pages spread over buckets;
+		// the base offset rotates the whole mapping per working set.
+		pg = (pg*2654435761 + base) % pages
 		return Access{Kind: Read, Off: pg * uint64(ioSize), Size: ioSize}
 	}
+}
+
+// ZipfHotPages returns the pages the top-k Zipf ranks map to under
+// ZipfGenAt's scatter — the generator's hot set, in rank order. Tests use it
+// to assert two tenants' working sets do not collide.
+func ZipfHotPages(ioSize int, fileSize uint64, base uint64, k int) []uint64 {
+	pages := fileSize / uint64(ioSize)
+	if pages == 0 {
+		panic(fmt.Sprintf("workload: file %d smaller than I/O %d", fileSize, ioSize))
+	}
+	out := make([]uint64, 0, k)
+	for rank := uint64(0); rank < uint64(k); rank++ {
+		out = append(out, (rank*2654435761+base)%pages)
+	}
+	return out
 }
 
 // CreateGen generates file creations (each with a small initial write of

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race torture check check-faults bench-json bench-compare allocs
+.PHONY: build test vet race torture check check-faults check-crash bench-json bench-compare allocs
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,15 @@ torture:
 check-faults:
 	$(GO) run ./cmd/dpccheck -faults -seeds 4 -ops 1500
 
+# Crash-restart torture on the WAL-enabled stack: per seed, the trace is
+# timed once, then the world is power-failed at seed-chosen instants (biased
+# into fsync group-commit and metadata windows), restarted from the
+# surviving superblock + WAL, and verified against every durability promise
+# acknowledged before the crash. Failures ddmin-shrink with the crash point
+# pinned.
+check-crash:
+	$(GO) run ./cmd/dpccheck -crash -seeds 4 -points 6
+
 # Machine-readable metrics + trace from the instrumented reference workload,
 # plus the serial-vs-pipelined large-I/O comparison (the perf trajectory).
 bench-json:
@@ -41,6 +50,7 @@ bench-json:
 	$(GO) run ./cmd/dpcbench -smallio-out BENCH_6.json
 	$(GO) run ./cmd/dpcbench -ramp-out BENCH_7.json
 	$(GO) run ./cmd/dpcbench -fleet-out BENCH_8.json
+	$(GO) run ./cmd/dpcbench -fsync-out BENCH_9.json
 
 # Regression gate: re-run the large-I/O scenario and diff every metric
 # against the committed baseline — structural counts (ops, bytes, doorbells,
@@ -51,6 +61,7 @@ bench-compare:
 	$(GO) run ./cmd/dpcbench -baseline BENCH_6.json -compare
 	$(GO) run ./cmd/dpcbench -baseline BENCH_7.json -compare
 	$(GO) run ./cmd/dpcbench -baseline BENCH_8.json -compare
+	$(GO) run ./cmd/dpcbench -baseline BENCH_9.json -compare
 
 # Allocs-per-op gate: the steady-state client data paths (buffered RMW
 # write, cached ReadInto) and the telemetry flight-recorder ring must stay
@@ -59,4 +70,4 @@ allocs:
 	$(GO) test -count=1 -run 'ZeroScratchAllocs|ZeroAllocs' .
 	$(GO) test -count=1 -run 'ZeroAllocs' ./internal/telemetry
 
-check: vet test race allocs torture bench-compare
+check: vet test race allocs torture check-crash bench-compare

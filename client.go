@@ -376,12 +376,27 @@ func (c *Client) readdir(p *sim.Proc, qid int, path string) ([]DirEntry, error) 
 	return out, nil
 }
 
-// Sync flushes one file's dirty cache pages to the backend (fsync).
+// Sync makes one file's dirty cache pages durable (fsync). On a system
+// with the cache WAL enabled the DPU acknowledges after group-committing
+// the pages to the log; otherwise (and always in degraded mode) it writes
+// them through to the backend.
 func (f *File) Sync(p *sim.Proc, qid int) error {
+	return f.sync(p, qid, 0)
+}
+
+// syncWriteback is the internal pre-direct-I/O sync: it demands the
+// synchronous write-back path even when a WAL could journal instead,
+// because the caller is about to read or overwrite the same range directly
+// in the backend and needs the cached pages actually there.
+func (f *File) syncWriteback(p *sim.Proc, qid int) error {
+	return f.sync(p, qid, dispatch.FlagWriteback)
+}
+
+func (f *File) sync(p *sim.Proc, qid int, flags uint32) error {
 	c := f.c
 	s := c.o.Begin(p, "client.fsync")
 	start := p.Now()
-	hdr := dispatch.ReqHeader{Ino: f.Ino}
+	hdr := dispatch.ReqHeader{Ino: f.Ino, Flags: flags}
 	comp := c.submit(p, qid, nvmefs.Submission{
 		FileOp: nvme.FileOpFlush,
 		Header: hdr.Marshal(),
@@ -599,7 +614,7 @@ func (f *File) writeDirect(p *sim.Proc, qid int, off uint64, data []byte) error 
 	// backend first, or a later daemon flush of a pre-write snapshot would
 	// overwrite what this direct write is about to put there.
 	if c.cacheHost != nil && c.cacheHost.HasDirty(p, f.Ino) {
-		if err := f.Sync(p, qid); err != nil {
+		if err := f.syncWriteback(p, qid); err != nil {
 			return err
 		}
 	}
@@ -628,6 +643,13 @@ func (f *File) writeDirect(p *sim.Proc, qid int, off uint64, data []byte) error 
 				}
 				chunk := data[next:end]
 				hdr := dispatch.ReqHeader{Ino: f.Ino, Off: off + uint64(next), Len: uint32(len(chunk))}
+				if next == 0 {
+					// First chunk invalidates journaled page history for the
+					// inode (see FlagInvalidate): the pre-write sync above left
+					// the backend current, and success is only reported after
+					// this chunk — and therefore the bump — completed.
+					hdr.Flags = dispatch.FlagInvalidate
+				}
 				burst = append(burst, nvmefs.Submission{
 					FileOp:  nvme.FileOpWrite,
 					Header:  hdr.Marshal(),
@@ -841,7 +863,7 @@ func (f *File) readDirectInto(p *sim.Proc, qid int, off uint64, out []byte) (int
 	// O_DIRECT semantics: dirty buffered pages must reach the backend before
 	// a direct read, or the reader sees pre-write data.
 	if c.cacheHost != nil && c.cacheHost.HasDirty(p, f.Ino) {
-		if err := f.Sync(p, qid); err != nil {
+		if err := f.syncWriteback(p, qid); err != nil {
 			return 0, err
 		}
 	}

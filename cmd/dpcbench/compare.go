@@ -26,6 +26,7 @@ var exactKeys = []string{
 	"tenant", "tenants", "procs", "victim_procs", "aggressor_procs", "errors",
 	"dispatched", "shed", "cost_bytes", "victim_ops", "aggressor_ops",
 	"aggressor_shed", "flood_op_bytes", "seed",
+	"fsyncs", "commits", "fsyncs_per_barrier", "wal_bytes", "wal_bytes_per_op",
 }
 
 // quantileKeys are histogram-quantile suffixes. They get a wider band than
@@ -156,6 +157,8 @@ func runCompare(baselinePath string) error {
 	switch workload {
 	case "small-op-direct":
 		report = buildSmallIOReport()
+	case "fsync-group-commit":
+		report = buildFsyncReport()
 	case "ramp-telemetry":
 		rep, err := buildRampReport()
 		if err != nil {

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"dpc"
+	"dpc/internal/obs"
+	"dpc/internal/sim"
+	"dpc/internal/stats"
+)
+
+// runFsyncScenario is the -fsync-out workload: concurrent writers on a
+// WAL-enabled KVFS stack, each appending to its own file and fsyncing after
+// every burst. With one worker every fsync pays its own WAL write + SSD
+// barrier; with 4 and 16 the group-commit window gathers concurrent fsyncs
+// into shared barriers, so fsyncs-per-barrier climbs and the per-fsync
+// latency grows sublinearly in the worker count instead of paying one
+// serialized barrier each.
+// The JSON report (BENCH_9 shape) captures per-tier fsync counts, WAL
+// commit/barrier counts, amortization ratio, journaled bytes and fsync
+// latency quantiles, and is byte-stable across runs so it can be committed
+// and gated with -compare.
+func runFsyncScenario(outPath string) error {
+	report := buildFsyncReport()
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(outPath, b, 0o644); err != nil {
+		return err
+	}
+	t0, tn := report.Tiers[0], report.Tiers[len(report.Tiers)-1]
+	fmt.Printf("wrote fsync report to %s (fsyncs/barrier %.2f -> %.2f at %d workers; p99 %s -> %s)\n",
+		outPath, t0.FsyncsPerBarrier, tn.FsyncsPerBarrier, tn.Workers,
+		time.Duration(t0.Latency.P99Ns), time.Duration(tn.Latency.P99Ns))
+	return nil
+}
+
+// fsyncReport is the BENCH_9 shape; -compare gates current runs against a
+// committed copy of it.
+type fsyncReport struct {
+	Workload string      `json:"workload"`
+	Tiers    []fsyncTier `json:"tiers"`
+}
+
+type fsyncTier struct {
+	Workers int `json:"workers"`
+	// Fsyncs is the total measured fsync count (fsyncRounds per worker);
+	// Commits counts WAL group commits, each costing one device write + one
+	// SSD barrier. Their ratio is the amortization the group window buys.
+	Fsyncs           int64   `json:"fsyncs"`
+	Commits          int64   `json:"commits"`
+	FsyncsPerBarrier float64 `json:"fsyncs_per_barrier"`
+	// WALBytes is the journaled byte volume; per-op it is flat across tiers
+	// (group commit shares barriers, not record framing).
+	WALBytes      int64        `json:"wal_bytes"`
+	WALBytesPerOp float64      `json:"wal_bytes_per_op"`
+	ElapsedNS     int64        `json:"elapsed_ns"`
+	Latency       fsyncLatency `json:"fsync_latency"`
+}
+
+type fsyncLatency struct {
+	P50Ns int64 `json:"p50_ns"`
+	P99Ns int64 `json:"p99_ns"`
+	MaxNs int64 `json:"max_ns"`
+}
+
+const (
+	fsyncRounds = 24       // measured fsyncs per worker
+	fsyncBurst  = 2 * 8192 // bytes buffered per round before the fsync
+)
+
+func buildFsyncReport() fsyncReport {
+	report := fsyncReport{Workload: "fsync-group-commit"}
+	for _, w := range []int{1, 4, 16} {
+		report.Tiers = append(report.Tiers, measureFsyncTier(w))
+	}
+	return report
+}
+
+// measureFsyncTier runs one worker count on a fresh WAL-enabled system.
+func measureFsyncTier(workers int) fsyncTier {
+	o := obs.New()
+	opts := dpc.DefaultOptions()
+	opts.Model.HostMemMB = 192
+	opts.Model.DPUMemMB = 16
+	opts.Model.Obs = o
+	opts.WAL.Enabled = true
+	sys := dpc.New(opts)
+
+	commits := o.Counter("wal.commits")
+	walBytes := o.Counter("wal.bytes")
+	lat := stats.NewLatency()
+	tier := fsyncTier{Workers: workers}
+
+	done := 0
+	for w := 0; w < workers; w++ {
+		w := w
+		sys.Go(func(p *sim.Proc) {
+			cl := sys.KVFSClient()
+			f, err := cl.Create(p, 0, fmt.Sprintf("/fsync-w%d", w))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fsync bench create: %v\n", err)
+				done++
+				return
+			}
+			buf := make([]byte, fsyncBurst)
+			for i := range buf {
+				buf[i] = byte(i*31 + w)
+			}
+			for r := 0; r < fsyncRounds; r++ {
+				if err := f.Write(p, 0, uint64(r)*fsyncBurst, buf, false); err != nil {
+					fmt.Fprintf(os.Stderr, "fsync bench write: %v\n", err)
+					break
+				}
+				start := p.Now()
+				if err := f.Sync(p, 0); err != nil {
+					fmt.Fprintf(os.Stderr, "fsync bench sync: %v\n", err)
+					break
+				}
+				lat.Record(time.Duration(p.Now() - start))
+				tier.Fsyncs++
+			}
+			if int64(p.Now()) > tier.ElapsedNS {
+				tier.ElapsedNS = int64(p.Now()) // last worker's finish time
+			}
+			done++
+		})
+	}
+	// The cache flush daemon wakes forever, so pump bounded slices instead
+	// of draining the event heap.
+	for i := 0; done != workers; i++ {
+		if i > 1<<16 {
+			fmt.Fprintf(os.Stderr, "fsync bench: stalled with %d/%d workers finished\n", done, workers)
+			break
+		}
+		sys.RunFor(10 * time.Millisecond)
+	}
+	sys.StopDaemons()
+	sys.Shutdown()
+
+	tier.Commits = commits.Value()
+	tier.WALBytes = walBytes.Value()
+	if tier.Commits > 0 {
+		tier.FsyncsPerBarrier = float64(tier.Fsyncs) / float64(tier.Commits)
+	}
+	if tier.Fsyncs > 0 {
+		tier.WALBytesPerOp = float64(tier.WALBytes) / float64(tier.Fsyncs)
+	}
+	tier.Latency = fsyncLatency{
+		P50Ns: int64(lat.Percentile(50)),
+		P99Ns: int64(lat.Percentile(99)),
+		MaxNs: int64(lat.Max()),
+	}
+	return tier
+}

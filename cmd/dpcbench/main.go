@@ -55,6 +55,7 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "with -metrics-out: also write the span tree as Perfetto/Chrome trace JSON to this file")
 		largeioOut = flag.String("largeio-out", "", "run the sequential large-I/O workload (serial vs pipelined submission), write its JSON report to this file and exit")
 		smallioOut = flag.String("smallio-out", "", "run the small-op direct workload (DMA vs inline path), write its JSON report to this file and exit")
+		fsyncOut   = flag.String("fsync-out", "", "run the WAL group-commit fsync workload at 1/4/16 workers, write its JSON report (BENCH_9 shape) to this file and exit")
 		faults     = flag.Bool("faults", false, "run the reference workload under the canned fault schedule, report recovery counters and exit")
 
 		profOut        = flag.String("prof-out", "", "run the reference workload with critical-path profiling, print attribution tables and write the JSON report to this file")
@@ -103,7 +104,7 @@ func main() {
 		}
 	}
 
-	if *metricsOut != "" || *largeioOut != "" || *smallioOut != "" || *profOut != "" || *benchOut != "" || *compare {
+	if *metricsOut != "" || *largeioOut != "" || *smallioOut != "" || *fsyncOut != "" || *profOut != "" || *benchOut != "" || *compare {
 		if *metricsOut != "" {
 			if err := runMetricsScenario(*metricsOut, *traceOut); err != nil {
 				fmt.Fprintln(os.Stderr, "metrics scenario:", err)
@@ -119,6 +120,12 @@ func main() {
 		if *smallioOut != "" {
 			if err := runSmallIOScenario(*smallioOut); err != nil {
 				fmt.Fprintln(os.Stderr, "smallio scenario:", err)
+				os.Exit(1)
+			}
+		}
+		if *fsyncOut != "" {
+			if err := runFsyncScenario(*fsyncOut); err != nil {
+				fmt.Fprintln(os.Stderr, "fsync scenario:", err)
 				os.Exit(1)
 			}
 		}

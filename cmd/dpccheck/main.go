@@ -7,11 +7,20 @@
 //	dpccheck -stacks kvfs-cache -seeds 32 -ops 5000 -v
 //	dpccheck -stacks localfs -seed 1234 -seeds 1 -shrink=false
 //	dpccheck -faults                  # inject the per-seed fault schedule
+//	dpccheck -crash                   # crash-restart torture on the WAL stack
 //
 // With -faults each (stack, seed) pair runs under a deterministic fault
 // schedule derived from the seed (dropped completions, corrupt SQEs/CQEs,
 // worker crashes, controller freezes, backend errors); the oracle still
 // requires every op to succeed with correct bytes or fail cleanly.
+//
+// With -crash each seed's trace is timed once, then the world is re-run and
+// power-failed at seed-chosen instants (biased into fsync group-commit
+// windows and metadata ops). The SSD loses its un-barriered volatile
+// blocks, the system restarts from the surviving superblock + WAL, and the
+// recovered tree is verified against every durability promise the stack
+// acknowledged before the crash. Failures shrink to a minimal trace with
+// the crash point pinned.
 //
 // Exit status 1 when any stack diverges from the oracle; the report
 // includes a minimal shrunk trace and the command line that reproduces it.
@@ -37,8 +46,15 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "concurrent worlds (default GOMAXPROCS)")
 		verbose    = flag.Bool("v", false, "log every (stack, seed) result")
 		faults     = flag.Bool("faults", false, "inject the deterministic per-seed fault schedule (stacks: "+strings.Join(check.FaultStackNames(), ",")+")")
+		crash      = flag.Bool("crash", false, "crash-restart torture: power-fail the WAL stack at seed-chosen instants and verify recovery")
+		points     = flag.Int("points", 6, "crash points per seed (with -crash)")
 	)
 	flag.Parse()
+
+	if *crash {
+		runCrash(*seed, *seeds, *ops, *points, *shrink, *parallel, *verbose)
+		return
+	}
 
 	cfg := check.SuiteConfig{
 		Ops:      *ops,
@@ -72,6 +88,11 @@ func main() {
 			len(stacks), len(cfg.Seeds), *ops)
 		return
 	}
+	reportFailures(failures, *ops)
+	os.Exit(1)
+}
+
+func reportFailures(failures []*check.Failure, ops int) {
 	for _, f := range failures {
 		fmt.Printf("FAIL %v\n", f)
 		faultArg := ""
@@ -79,7 +100,59 @@ func main() {
 			faultArg = " -faults"
 		}
 		fmt.Printf("  reproduce: go run ./cmd/dpccheck -stacks %s -seed %d -seeds 1 -ops %d%s\n",
-			f.Stack, f.Seed, *ops, faultArg)
+			f.Stack, f.Seed, ops, faultArg)
+		if len(f.Trace) <= 40 {
+			fmt.Println("  minimal trace:")
+			for _, op := range f.Trace {
+				fmt.Printf("    %s\n", op)
+			}
+		} else {
+			fmt.Printf("  trace: %d ops (rerun with -shrink for a minimal one)\n", len(f.Trace))
+		}
+	}
+}
+
+// runCrash drives the crash-restart torture suite (-crash).
+func runCrash(seed int64, seeds, ops, points int, shrink bool, parallel int, verbose bool) {
+	// The differential default (2000 ops) is sized for throughput, not for
+	// re-running the world once per crash point; shrink it unless the user
+	// explicitly asked for a length.
+	opsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "ops" {
+			opsSet = true
+		}
+	})
+	if !opsSet {
+		ops = 240
+	}
+	cfg := check.CrashSuiteConfig{
+		Ops:      ops,
+		Points:   points,
+		Shrink:   shrink,
+		Parallel: parallel,
+	}
+	for i := 0; i < seeds; i++ {
+		cfg.Seeds = append(cfg.Seeds, seed+int64(i))
+	}
+	if verbose {
+		cfg.Logf = log.Printf
+	}
+	failures, rep, err := check.RunCrashSuite(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crash sweep: %d runs, %d records replayed, %d stale skipped, %d torn tails, %d WAL blocks lost, %d scavenge repairs, slowest recovery %v\n",
+		rep.Runs, rep.Replayed, rep.SkippedStale, rep.TornTails, rep.LostWALBlocks, rep.Scavenged, rep.MaxRecovery)
+	if len(failures) == 0 {
+		fmt.Printf("ok: %d seeds x %d crash points recovered every durability promise\n",
+			len(cfg.Seeds), points)
+		return
+	}
+	for _, f := range failures {
+		fmt.Printf("FAIL %v\n", f)
+		fmt.Printf("  reproduce: go run ./cmd/dpccheck -crash -seed %d -seeds 1 -ops %d -points %d\n",
+			f.Seed, ops, points)
 		if len(f.Trace) <= 40 {
 			fmt.Println("  minimal trace:")
 			for _, op := range f.Trace {

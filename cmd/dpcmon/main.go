@@ -12,6 +12,8 @@
 //	dpcmon -timeline tl.json -dump 0    # show a dump's critical-path report
 //	dpcmon -timeline tl.json -tenant 3  # only tenant 3's t3./nvmefs.t3. series
 //	dpcmon -timeline tl.json -tenants   # side-by-side per-tenant latency table
+//	dpcmon -timeline tl.json -wal       # WAL durability view: group-commit
+//	                                    # totals, peak group size, recovery time
 //
 // The tenant views read the t<N>. metric prefix convention of multi-tenant
 // runs (`dpcbench -fleet-timeline-out`): a series belongs to tenant N when
@@ -82,6 +84,7 @@ func main() {
 		dump   = flag.Int("dump", -1, "show one dump: its span tree roots and critical-path report")
 		tenant = flag.Int("tenant", -1, "list only this tenant's series (t<N>. prefix convention)")
 		tens   = flag.Bool("tenants", false, "side-by-side per-tenant read-latency and scheduler table")
+		walV   = flag.Bool("wal", false, "WAL durability view: group-commit totals, amortization, recovery duration")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -106,6 +109,8 @@ func main() {
 		listSeries(&tl, func(name string) bool { return tenantOf(name) == *tenant })
 	case *tens:
 		tenantTable(&tl)
+	case *walV:
+		walView(&tl)
 	case *col != "":
 		printColumn(&tl, *col)
 	case *dump >= 0:
@@ -175,6 +180,58 @@ func tenantTable(tl *timeline) {
 			maxValue(tl, fmt.Sprintf("nvmefs.t%d.queued:last", t)),
 			maxValue(tl, fmt.Sprintf("nvmefs.t%d.shed:rate", t)))
 	}
+}
+
+// counterTotal integrates a counter's :rate column (events/second sampled
+// every IntervalNs) back into a run total.
+func counterTotal(tl *timeline, name string) int64 {
+	sum := 0.0
+	for _, v := range tl.Series.Columns[name+":rate"] {
+		sum += v * float64(tl.Series.IntervalNs) / 1e9
+	}
+	// Window rates are exact in virtual time, so the integral is too; round
+	// to kill float residue only.
+	return int64(sum + 0.5)
+}
+
+// walView summarizes the wal.* metric family of a WAL-enabled run: how much
+// was journaled, how well group commit amortized barriers, whether replay
+// ever saw damage, and how long recovery took — then lists the raw series.
+func walView(tl *timeline) {
+	any := false
+	for name := range tl.Series.Columns {
+		if strings.HasPrefix(name, "wal.") {
+			any = true
+			break
+		}
+	}
+	if !any {
+		fmt.Println("no wal.* series in this timeline (WAL-disabled run?)")
+		return
+	}
+	appends := counterTotal(tl, "wal.appends")
+	commits := counterTotal(tl, "wal.commits")
+	bytes := counterTotal(tl, "wal.bytes")
+	fmt.Printf("group commit: %d records in %d commits (%d bytes journaled)\n",
+		appends, commits, bytes)
+	if commits > 0 {
+		fmt.Printf("amortization: %.2f records/barrier, peak group size %.0f\n",
+			float64(appends)/float64(commits), maxValue(tl, "wal.group_size:last"))
+	}
+	fmt.Printf("checkpoints:  %d\n", counterTotal(tl, "wal.checkpoints"))
+
+	replayed := counterTotal(tl, "wal.replayed")
+	torn := counterTotal(tl, "wal.torn_tails")
+	stale := counterTotal(tl, "wal.skipped_stale")
+	if replayed+torn+stale > 0 {
+		fmt.Printf("recovery:     %d pages replayed, %d stale skipped, %d torn tails\n",
+			replayed, stale, torn)
+	}
+	if recNs := maxValue(tl, "wal.recovery_ns:last"); recNs > 0 {
+		fmt.Printf("recovery time: %s (wal.recovery_ns gauge)\n", fmtNs(int64(recNs)))
+	}
+	fmt.Println()
+	listSeries(tl, func(name string) bool { return strings.HasPrefix(name, "wal.") })
 }
 
 func fmtNs(ns int64) string {

@@ -43,6 +43,8 @@ import (
 	"dpc/internal/nvmefs"
 	"dpc/internal/obs"
 	"dpc/internal/sim"
+	"dpc/internal/ssd"
+	"dpc/internal/wal"
 	"dpc/internal/xform"
 )
 
@@ -69,6 +71,14 @@ type Options struct {
 	CachePageSize int
 	CacheBuckets  int
 	Ctl           cache.CtlConfig
+
+	// WAL, when Enabled, puts a write-ahead log on a local simulated SSD and
+	// attaches it to the KVFS cache controller: fsync group-commits dirty
+	// pages to the log instead of writing them through, and crash recovery
+	// replays the log's valid prefix. Disabled (the default) creates no
+	// device, no timers and no wal.* metrics — a WAL-off system is
+	// byte-identical to one built before the WAL existed.
+	WAL wal.Config
 
 	// Faults, when non-empty, attaches a deterministic fault injector with
 	// this rule schedule to the nvme-fs driver, the PCIe link and the cache
@@ -103,6 +113,7 @@ func DefaultOptions() Options {
 		CachePageSize: 8192,
 		CacheBuckets:  256,
 		Ctl:           cache.DefaultCtlConfig(),
+		WAL:           wal.DefaultConfig(),
 	}
 }
 
@@ -123,6 +134,10 @@ type System struct {
 	KVCluster *kv.Cluster
 	kvfsSvc   *dispatch.Service
 	kvfsHost  *cache.Host
+
+	// WAL components (nil unless Options.WAL.Enabled with a KVFS cache).
+	WALDev *ssd.Device
+	WAL    *wal.Log
 
 	// DFS-side components (nil unless EnableDFS).
 	DFSBackend *dfs.Backend
@@ -160,6 +175,12 @@ func New(opts Options) *System {
 			l := sys.newCacheLayout(opts)
 			svc.Ctl = cache.NewCtl(m, l, kvfs.PageBackend{FS: sys.KVFS}, opts.Ctl)
 			sys.kvfsHost = cache.NewHost(m, l)
+			if opts.WAL.Enabled {
+				sys.WALDev = m.NewSSD()
+				sys.WAL = wal.Open(m.Eng, sys.WALDev, opts.WAL)
+				sys.WAL.AttachObs(m.Obs)
+				svc.Ctl.SetWAL(sys.WAL)
+			}
 		}
 		sys.kvfsSvc = svc
 	}
@@ -192,6 +213,10 @@ func New(opts Options) *System {
 		}
 		if sys.dfsSvc != nil && sys.dfsSvc.Ctl != nil {
 			sys.dfsSvc.Ctl.SetFaults(sys.Faults)
+		}
+		if sys.WAL != nil {
+			sys.WAL.SetFaults(sys.Faults)
+			sys.WALDev.SetFaults(sys.Faults)
 		}
 	}
 	return sys
@@ -229,6 +254,10 @@ func (sys *System) Run() { sys.M.Eng.Run() }
 func (sys *System) RunFor(d time.Duration) {
 	sys.M.Eng.RunUntil(sys.M.Eng.Now() + sim.Time(d))
 }
+
+// RunUntil executes the simulation up to exactly virtual time t. The crash
+// harness uses it to stop the world at a seed-chosen instant.
+func (sys *System) RunUntil(t sim.Time) { sys.M.Eng.RunUntil(t) }
 
 // StopDaemons stops the cache flush daemons so Run can drain.
 func (sys *System) StopDaemons() {
@@ -306,6 +335,43 @@ func buildTransform(opts Options) xform.Transform {
 		return nil
 	}
 	return chain
+}
+
+// Recover rebuilds a freshly assembled WAL-enabled system from the durable
+// state a crash left behind. The caller has already transplanted that state:
+// the KV cluster's stores hold the crash image (kv.Store.Put per shard) and
+// the WAL device image was installed with WALDev.Restore + WAL.Reopen.
+// Recover then runs the mount-time sequence as a sim process:
+//
+//  1. mount (idempotent root attribute);
+//  2. kvfs.Scavenge — repair the torn prefixes of in-flight multi-KV
+//     metadata operations and rebuild the inode allocation cursor;
+//  3. WAL replay — re-apply every acknowledged-but-unflushed page from the
+//     log's valid prefix through the ordinary write path;
+//  4. checkpoint — the log's contents are now redundant, so reclaim it.
+//
+// Idempotent up to the checkpoint: a second crash anywhere before step 4
+// completes re-runs the same sequence against the same (or further-settled)
+// state.
+func (sys *System) Recover(p *sim.Proc) (wal.ReplayStats, *kvfs.RecoverReport, error) {
+	if sys.WAL == nil || sys.KVFS == nil {
+		panic("dpc: Recover needs a WAL-enabled KVFS system")
+	}
+	if !sys.mounted {
+		sys.mounted = true
+		sys.KVFS.Mount(p)
+	}
+	rep := sys.KVFS.Scavenge(p, sys.KVCluster)
+	sys.KVFS.SetNextIno(rep.MaxIno + 1)
+	backend := kvfs.PageBackend{FS: sys.KVFS}
+	ps := sys.Opts.CachePageSize
+	st, err := sys.WAL.Recover(p, func(pp *sim.Proc, r wal.Record) error {
+		return backend.WritePage(pp, r.Ino, r.LPN, ps, r.Data)
+	})
+	if err != nil {
+		return st, rep, err
+	}
+	return st, rep, sys.WAL.Checkpoint(p)
 }
 
 // KVFSService exposes the KVFS dispatch service (ablations and tests).

@@ -9,6 +9,8 @@ import (
 
 	"dpc/internal/model"
 	"dpc/internal/sim"
+	"dpc/internal/ssd"
+	"dpc/internal/wal"
 )
 
 // memBackend is an in-DPU-memory page store for tests.
@@ -504,5 +506,88 @@ func TestFlushInoSurfacesPersistentFailure(t *testing.T) {
 	m.Eng.Shutdown()
 	if h.DirtyCount() != 1 {
 		t.Fatalf("page vanished: dirty = %d", h.DirtyCount())
+	}
+}
+
+// TestDegradedFsyncReportsError pins the fsync contract under degraded
+// mode (referenced from the FlushIno doc comment): with a WAL attached,
+// SyncIno normally acknowledges fsync by journaling — but once persistent
+// backend failures trip degraded mode, it must fall back to the synchronous
+// flush path and surface the backend error. A journal ack here would claim
+// durability for pages stuck behind a backend the flush daemon cannot
+// reach.
+func TestDegradedFsyncReportsError(t *testing.T) {
+	m, _, h, c, b := newTestCache(t, 64, 8, CtlConfig{FlushEnabled: false})
+	wdev := ssd.New(m.Eng, ssd.DefaultConfig())
+	c.SetWAL(wal.Open(m.Eng, wdev, wal.DefaultConfig()))
+
+	// Healthy: fsync journals the dirty pages and leaves the backend alone.
+	m.Eng.Go("healthy", func(p *sim.Proc) {
+		for i := 0; i < 6; i++ {
+			if !h.WritePage(p, 7, uint64(i), page(byte(i))) {
+				t.Errorf("WritePage %d failed", i)
+			}
+		}
+		if n, err := c.SyncIno(p, 7); err != nil || n != 6 {
+			t.Errorf("healthy SyncIno = (%d, %v), want (6, nil)", n, err)
+		}
+	})
+	m.Eng.Run()
+	if b.writes != 0 {
+		t.Fatalf("journaled fsync wrote through: %d backend writes", b.writes)
+	}
+	if h.DirtyCount() != 6 {
+		t.Fatalf("dirty = %d, want 6 (journaling must not clean pages)", h.DirtyCount())
+	}
+
+	// The backend dies; enough failing passes trip degraded mode.
+	c.SetFaults(fault.New(m.Eng, []fault.Rule{
+		{Site: fault.SiteCacheFlush, Kind: fault.KindBackendWriteErr}, // forever
+	}))
+	m.Eng.Go("trip", func(p *sim.Proc) {
+		for i := 0; i < degradedThreshold+1; i++ {
+			if n, err := c.FlushPass(p, 100); n != 0 || err == nil {
+				t.Errorf("FlushPass under injection = (%d, %v), want (0, error)", n, err)
+			}
+		}
+	})
+	m.Eng.Run()
+	if !c.Degraded() {
+		t.Fatal("failure streak did not trip degraded mode")
+	}
+
+	// Degraded fsync: no journal ack — the flush fallback runs and reports
+	// the backend failure.
+	commits := c.WAL().Device().Writes.Total()
+	m.Eng.Go("degraded-fsync", func(p *sim.Proc) {
+		if n, err := c.SyncIno(p, 7); err == nil {
+			t.Errorf("degraded SyncIno = (%d, nil), want backend error", n)
+		}
+	})
+	m.Eng.Run()
+	if got := c.WAL().Device().Writes.Total(); got != commits {
+		t.Fatalf("degraded fsync appended to the WAL (%d new device writes)", got-commits)
+	}
+	if h.DirtyCount() != 6 {
+		t.Fatalf("dirty = %d after failed fsync, want 6", h.DirtyCount())
+	}
+
+	// Backend heals: the first successful flush exits degraded mode and
+	// fsync succeeds (journaled again).
+	c.SetFaults(nil)
+	m.Eng.Go("heal", func(p *sim.Proc) {
+		if n, err := c.SyncIno(p, 7); err != nil {
+			t.Errorf("post-heal SyncIno = (%d, %v), want success", n, err)
+		}
+	})
+	m.Eng.Run()
+	m.Eng.Shutdown()
+	if c.Degraded() {
+		// SyncIno's degraded fallback is FlushIno, which on success clears
+		// the flag before returning.
+		t.Fatal("still degraded after a successful fallback flush")
+	}
+	if b.writes != 6 {
+		t.Fatalf("backend writes = %d, want 6 (healed fallback flushed)", b.writes)
 	}
 }

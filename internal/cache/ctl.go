@@ -9,6 +9,7 @@ import (
 	"dpc/internal/obs"
 	"dpc/internal/sim"
 	"dpc/internal/stats"
+	"dpc/internal/wal"
 )
 
 // Backend is where flushed pages go and where prefetched pages come from:
@@ -114,6 +115,22 @@ type Ctl struct {
 	degraded   bool
 	flushFails int
 
+	// wal, when attached, is the durability journal: SyncIno acknowledges
+	// fsync by group-committing the inode's dirty pages into the log instead
+	// of writing them through to the backend (the flush daemon still retires
+	// them lazily). walGens carries the per-inode generation stamp bumped by
+	// metadata ops that invalidate journaled pages (truncate, unlink), so
+	// replay can skip records that predate them. ckpting serializes log
+	// compaction: a checkpoint must settle every dirty page into the backend
+	// before it invalidates prior records, so journal commits that could
+	// interleave with that window wait on ckptDone and re-run (see
+	// journalIno).
+	wal      *wal.Log
+	walGens  map[uint64]uint64
+	ckpting  bool
+	ckptSeq  uint64
+	ckptDone *sim.Cond
+
 	// obs mirrors, cached at construction; nil no-op sinks when disabled.
 	// po is non-nil only in profiling mode (flush-join wait attribution).
 	o           *obs.Obs
@@ -149,6 +166,23 @@ func (c *Ctl) SetFaults(in *fault.Injector) {
 
 // Degraded reports whether the cache is currently in degraded mode.
 func (c *Ctl) Degraded() bool { return c.degraded }
+
+// SetWAL attaches the write-ahead log. With a WAL attached, SyncIno
+// journals instead of flushing, and metadata ops must call BumpGen before
+// destroying journaled state.
+func (c *Ctl) SetWAL(l *wal.Log) {
+	c.wal = l
+	if l != nil {
+		c.walGens = map[uint64]uint64{}
+		c.ckptDone = sim.NewCond(c.m.Eng, "wal-ckpt")
+	}
+}
+
+// HasWAL reports whether a write-ahead log is attached.
+func (c *Ctl) HasWAL() bool { return c.wal != nil }
+
+// WAL returns the attached log (nil if none).
+func (c *Ctl) WAL() *wal.Log { return c.wal }
 
 // noteFlushFailure advances the failure streak and enters degraded mode at
 // the threshold, publishing the flag in the shared header word so the host
@@ -357,6 +391,14 @@ func (c *Ctl) flushWindow(p *sim.Proc, entries []int, flush func(pp *sim.Proc, i
 // Returns the number flushed; a persistent backend failure surfaces as an
 // error after a bounded number of attempts (the page stays dirty), so a
 // failing fsync reports failure instead of livelocking.
+//
+// Fsync contract. FlushIno is the synchronous durability path: success
+// means every one of the inode's pages reached the backend. SyncIno is the
+// journaled path: success means every dirty page is either in the backend
+// or committed to the WAL. In degraded mode SyncIno falls back to FlushIno,
+// so a caller never gets a successful fsync while any journaled-but-
+// unflushed page sits behind a failing backend — the fallback fully lands
+// or reports the backend error (pinned by TestDegradedFsyncReportsError).
 func (c *Ctl) FlushIno(p *sim.Proc, ino uint64) (int, error) {
 	var dirty []int
 	const chunkEntries = 128
@@ -406,6 +448,221 @@ func (c *Ctl) FlushIno(p *sim.Proc, ino uint64) (int, error) {
 			}
 		}
 	})
+}
+
+// SyncIno is the fsync entry point when durability may be satisfied by the
+// journal: with a WAL attached and the cache healthy it group-commits the
+// inode's dirty pages into the log and returns without writing them back
+// (the flush daemon retires them lazily; a checkpoint settles them before
+// their records are dropped). Without a WAL — or in degraded mode, where
+// pages may be stuck dirty behind a failing backend and a journal ack
+// would claim durability the flush path cannot deliver — it falls back to
+// the synchronous FlushIno, which fully succeeds or reports the error.
+func (c *Ctl) SyncIno(p *sim.Proc, ino uint64) (int, error) {
+	if c.wal == nil || c.degraded {
+		return c.FlushIno(p, ino)
+	}
+	return c.journalIno(p, ino)
+}
+
+// journalIno snapshots the inode's dirty pages over DMA and commits them to
+// the WAL as one record batch. Pages stay dirty in the cache. The snapshot
+// keeps FlushIno's must-settle semantics: an entry we cannot lock is
+// re-checked until it is either snapshotted here or observed clean (a
+// concurrent flush made it durable some other way).
+//
+// Checkpoint interleaving: a checkpoint settles every dirty page and then
+// invalidates all prior records. A batch committed with records snapshotted
+// before the checkpoint's settle scan but landed after it would ack pages
+// the checkpoint neither flushed nor preserved — so any commit that raced a
+// checkpoint (ckptSeq moved) is thrown away and the whole pass re-runs
+// against the post-checkpoint cache state.
+func (c *Ctl) journalIno(p *sim.Proc, ino uint64) (int, error) {
+	for attempt := 0; ; attempt++ {
+		for c.ckpting {
+			c.ckptDone.Wait(p)
+		}
+		seq := c.ckptSeq
+		gen := c.walGens[ino]
+
+		var dirty []int
+		const chunkEntries = 128
+		for base := 0; base < c.L.Total; base += chunkEntries {
+			n := chunkEntries
+			if base+n > c.L.Total {
+				n = c.L.Total - base
+			}
+			raw := c.m.PCIe.DMARead(p, c.m.HostMem, c.L.EntryAddr(base), n*EntrySize, "cache-scan")
+			for k := 0; k < n; k++ {
+				e := DecodeEntry(raw[k*EntrySize : (k+1)*EntrySize])
+				if e.Status == StatusDirty && e.Ino == ino {
+					dirty = append(dirty, base+k)
+				}
+			}
+		}
+		var recs []wal.Record
+		_, err := c.flushWindow(p, dirty, func(pp *sim.Proc, i int) (bool, error) {
+			for spins := 0; ; spins++ {
+				if spins > 1<<20 {
+					panic("cache: journalIno livelocked on a held entry lock")
+				}
+				if c.lock(pp, i, LockRead) {
+					e := c.readEntryRemote(pp, i)
+					if e.Status != StatusDirty || e.Ino != ino {
+						c.unlock(pp, i)
+						return false, nil
+					}
+					data := c.m.PCIe.DMARead(pp, c.m.HostMem, c.L.PageAddr(i), c.L.PageSize, "cache-pull")
+					c.unlock(pp, i)
+					recs = append(recs, wal.Record{Kind: wal.RecPage, Ino: ino, LPN: e.LPN, Gen: gen, Data: data})
+					return true, nil
+				}
+				// Lock held: a concurrent flush or host write owns the entry.
+				// Wait until it is no longer our dirty page, then re-check.
+				if cur := c.readEntryRemote(pp, i); cur.Status != StatusDirty || cur.Ino != ino {
+					return false, nil
+				}
+			}
+		})
+		if err != nil {
+			return 0, err
+		}
+		if len(recs) == 0 {
+			return 0, nil
+		}
+		need := 0
+		for i := range recs {
+			need += wal.RecordSize(len(recs[i].Data))
+		}
+		if c.wal.NeedCheckpoint(need) {
+			if err := c.checkpoint(p); err != nil {
+				return 0, err
+			}
+			// The checkpoint settled our pages into the backend; re-run to
+			// observe them clean (or pick up anything re-dirtied since).
+			continue
+		}
+		if c.ckpting || c.ckptSeq != seq {
+			continue
+		}
+		err = c.wal.Commit(p, recs)
+		if err == wal.ErrFull {
+			if attempt >= 2 {
+				// The batch cannot fit even in an empty log; write through.
+				return c.FlushIno(p, ino)
+			}
+			if err := c.checkpoint(p); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		if err != nil {
+			return 0, err
+		}
+		return len(recs), nil
+	}
+}
+
+// BumpGen journals a generation bump for the inode. Metadata ops that make
+// journaled page content stale (truncate, unlink) call it BEFORE mutating
+// the backend: replay skips page records older than the inode's final
+// generation, so a crash after the op cannot resurrect pre-op pages. An
+// error means the bump did not commit and the caller must fail the op.
+func (c *Ctl) BumpGen(p *sim.Proc, ino uint64) error {
+	if c.wal == nil {
+		return nil
+	}
+	for {
+		for c.ckpting {
+			c.ckptDone.Wait(p)
+		}
+		seq := c.ckptSeq
+		gen := c.walGens[ino] + 1
+		err := c.wal.Commit(p, []wal.Record{{Kind: wal.RecGen, Ino: ino, Gen: gen}})
+		if err == wal.ErrFull {
+			if err := c.checkpoint(p); err != nil {
+				return err
+			}
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if c.ckpting || c.ckptSeq != seq {
+			// The record may have landed pre-bump and been invalidated;
+			// commit it again against the fresh log.
+			continue
+		}
+		c.walGens[ino] = gen
+		return nil
+	}
+}
+
+// checkpoint compacts the WAL: settle every dirty page into the backend,
+// then bump the log epoch so the (now redundant) records are dropped and
+// the append region is reclaimed. Concurrent checkpoints coalesce via the
+// ckpting flag; journal commits racing the settle window re-run (see
+// journalIno).
+func (c *Ctl) checkpoint(p *sim.Proc) error {
+	for c.ckpting {
+		c.ckptDone.Wait(p)
+	}
+	c.ckpting = true
+	err := c.settleAll(p)
+	if err == nil {
+		err = c.wal.Checkpoint(p)
+	}
+	c.ckpting = false
+	c.ckptSeq++
+	c.ckptDone.Broadcast()
+	return err
+}
+
+// settleAll writes every dirty page in the cache back to the backend with
+// FlushIno's must-settle semantics (an unlockable entry is re-checked until
+// flushed or observed clean). A checkpoint needs this stronger guarantee:
+// FlushPass skips entries whose lock is held, but a page mid-flush by the
+// daemon may still fail its backend write and stay dirty — dropping its
+// journal record then would lose an acked fsync.
+func (c *Ctl) settleAll(p *sim.Proc) error {
+	var dirty []int
+	const chunkEntries = 128
+	for base := 0; base < c.L.Total; base += chunkEntries {
+		n := chunkEntries
+		if base+n > c.L.Total {
+			n = c.L.Total - base
+		}
+		raw := c.m.PCIe.DMARead(p, c.m.HostMem, c.L.EntryAddr(base), n*EntrySize, "cache-scan")
+		for k := 0; k < n; k++ {
+			e := DecodeEntry(raw[k*EntrySize : (k+1)*EntrySize])
+			if e.Status == StatusDirty {
+				dirty = append(dirty, base+k)
+			}
+		}
+	}
+	_, err := c.flushWindow(p, dirty, func(pp *sim.Proc, i int) (bool, error) {
+		fails := 0
+		for spins := 0; ; spins++ {
+			if spins > 1<<20 {
+				panic("cache: checkpoint livelocked on a held entry lock")
+			}
+			ok, err := c.flushOne(pp, i)
+			if ok {
+				return true, nil
+			}
+			if err != nil {
+				if fails++; fails >= 8 {
+					return false, err
+				}
+				pp.Sleep(20 * time.Microsecond)
+				continue
+			}
+			if cur := c.readEntryRemote(pp, i); cur.Status != StatusDirty {
+				return false, nil
+			}
+		}
+	})
+	return err
 }
 
 // flushOne safely flushes entry i: read-lock, pull the page to DPU DRAM,

@@ -112,7 +112,7 @@ func (w *World) InjectLegacyFlushBug() bool {
 // (InlineMax 512): the differential suite must not be able to tell it apart
 // from the DMA-only stacks.
 func StackNames() []string {
-	return []string{"kvfs-direct", "kvfs-cache", "kvfs-inline", "localfs", "dfs-std", "dfs-opt", "dfs-dpc"}
+	return []string{"kvfs-direct", "kvfs-cache", "kvfs-inline", "kvfs-wal", "localfs", "dfs-std", "dfs-opt", "dfs-dpc"}
 }
 
 // inlineMaxForTorture is the InlineMax used by the kvfs-inline stack; 512
@@ -124,11 +124,13 @@ const inlineMaxForTorture = 512
 func NewWorld(name string) (*World, error) {
 	switch name {
 	case "kvfs-direct":
-		return newKVFSWorld(name, 0, 0, nil, nil), nil
+		return newKVFSWorld(name, 0, 0, false, nil, nil), nil
 	case "kvfs-cache":
-		return newKVFSWorld(name, 128, 0, nil, nil), nil
+		return newKVFSWorld(name, 128, 0, false, nil, nil), nil
 	case "kvfs-inline":
-		return newKVFSWorld(name, 128, inlineMaxForTorture, nil, nil), nil
+		return newKVFSWorld(name, 128, inlineMaxForTorture, false, nil, nil), nil
+	case "kvfs-wal":
+		return newKVFSWorld(name, 128, 0, true, nil, nil), nil
 	case "localfs":
 		return newLocalWorld(name), nil
 	case "dfs-std":
@@ -145,7 +147,7 @@ func NewWorld(name string) (*World, error) {
 // FaultStackNames lists the stacks that support fault injection (the dpc
 // data-path stacks; the baselines have no injector hooks).
 func FaultStackNames() []string {
-	return []string{"kvfs-direct", "kvfs-cache", "kvfs-inline", "dfs-dpc"}
+	return []string{"kvfs-direct", "kvfs-cache", "kvfs-inline", "kvfs-wal", "dfs-dpc"}
 }
 
 // NewFaultWorld instantiates a stack with the deterministic torture fault
@@ -155,11 +157,13 @@ func NewFaultWorld(name string, seed int64) (*World, error) {
 	rules := fault.TortureSchedule(seed)
 	switch name {
 	case "kvfs-direct":
-		return newKVFSWorld(name, 0, 0, rules, nil), nil
+		return newKVFSWorld(name, 0, 0, false, rules, nil), nil
 	case "kvfs-cache":
-		return newKVFSWorld(name, 128, 0, rules, nil), nil
+		return newKVFSWorld(name, 128, 0, false, rules, nil), nil
 	case "kvfs-inline":
-		return newKVFSWorld(name, 128, inlineMaxForTorture, rules, nil), nil
+		return newKVFSWorld(name, 128, inlineMaxForTorture, false, rules, nil), nil
+	case "kvfs-wal":
+		return newKVFSWorld(name, 128, 0, true, rules, nil), nil
 	case "dfs-dpc":
 		return newDFSDPCWorld(name, rules, nil), nil
 	default:
@@ -186,11 +190,13 @@ func NewObservedFaultWorld(name string, seed int64, o *obs.Obs) (*World, error) 
 func newObserved(name string, rules []fault.Rule, o *obs.Obs) (*World, error) {
 	switch name {
 	case "kvfs-direct":
-		return newKVFSWorld(name, 0, 0, rules, o), nil
+		return newKVFSWorld(name, 0, 0, false, rules, o), nil
 	case "kvfs-cache":
-		return newKVFSWorld(name, 128, 0, rules, o), nil
+		return newKVFSWorld(name, 128, 0, false, rules, o), nil
 	case "kvfs-inline":
-		return newKVFSWorld(name, 128, inlineMaxForTorture, rules, o), nil
+		return newKVFSWorld(name, 128, inlineMaxForTorture, false, rules, o), nil
+	case "kvfs-wal":
+		return newKVFSWorld(name, 128, 0, true, rules, o), nil
 	case "dfs-dpc":
 		return newDFSDPCWorld(name, rules, o), nil
 	default:
@@ -216,7 +222,7 @@ func driveLoop(sys *dpc.System, fn func(p *sim.Proc)) {
 
 // ---- dpc/KVFS worlds (direct and hybrid-cache) ----
 
-func newKVFSWorld(name string, cachePages, inlineMax int, faults []fault.Rule, o *obs.Obs) *World {
+func newKVFSWorld(name string, cachePages, inlineMax int, wal bool, faults []fault.Rule, o *obs.Obs) *World {
 	opts := dpc.DefaultOptions()
 	opts.Model.HostMemMB = 192
 	opts.Model.DPUMemMB = 8
@@ -227,6 +233,10 @@ func newKVFSWorld(name string, cachePages, inlineMax int, faults []fault.Rule, o
 	// write-through pressure high during torture runs.
 	opts.CacheBuckets = 16
 	opts.Faults = faults
+	// The kvfs-wal stack journals fsyncs through the write-ahead log; the
+	// differential suite must not be able to tell it apart from the
+	// write-back stacks, and the fault suite's SiteWAL rules only fire here.
+	opts.WAL.Enabled = wal
 	sys := dpc.New(opts)
 	cl := sys.KVFSClient()
 	cached := cachePages > 0

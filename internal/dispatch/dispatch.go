@@ -184,11 +184,20 @@ func (d *Dispatcher) handle(p *sim.Proc, req nvmefs.Request) nvmefs.Response {
 		freed := svc.Ctl.ReclaimBucket(p, hdr.Ino, hdr.Off, int(hdr.Len))
 		return nvmefs.Response{Status: nvme.StatusOK, Result: uint32(freed)}
 	case nvme.FileOpFlush:
-		// fsync: flush one inode's dirty pages. A backend failure surfaces
-		// as a retryable transient — the pages stayed dirty, so the host's
-		// retried Flush is idempotent.
+		// fsync: make one inode's dirty pages durable. With a WAL attached
+		// this journals (group commit) unless the host demanded synchronous
+		// write-back (FlagWriteback) — internal syncs before direct I/O need
+		// the pages in the backend, not merely on the log. A failure surfaces
+		// as a retryable transient: neither path acknowledged anything, and
+		// pages stay dirty, so the host's retried Flush is idempotent.
 		if svc.Ctl != nil {
-			flushed, err := svc.Ctl.FlushIno(p, hdr.Ino)
+			var flushed int
+			var err error
+			if hdr.Flags&FlagWriteback != 0 {
+				flushed, err = svc.Ctl.FlushIno(p, hdr.Ino)
+			} else {
+				flushed, err = svc.Ctl.SyncIno(p, hdr.Ino)
+			}
 			if err != nil {
 				return nvmefs.Response{Status: nvme.StatusTransient}
 			}
@@ -289,6 +298,9 @@ func (d *Dispatcher) handleWrite(p *sim.Proc, svc *Service, hdr ReqHeader, data 
 	if int(hdr.Len) < len(data) {
 		data = data[:hdr.Len]
 	}
+	if hdr.Flags&FlagInvalidate != 0 && !bumpGen(p, svc, hdr.Ino) {
+		return nvmefs.Response{Status: nvme.StatusTransient}
+	}
 	if err := svc.backendWrite(p, hdr.Ino, hdr.Off, data); err != nil {
 		return errResponse(err)
 	}
@@ -306,12 +318,24 @@ func (d *Dispatcher) handleMeta(p *sim.Proc, svc *Service, op uint32, hdr ReqHea
 	path2 := string(data[hdr.PathLen : int(hdr.PathLen)+int(hdr.Aux)])
 
 	if svc.KVFS != nil {
-		return d.kvfsMeta(p, svc.KVFS, op, hdr, path, path2)
+		return d.kvfsMeta(p, svc, op, hdr, path, path2)
 	}
 	return d.dfsMeta(p, svc.DFS, op, hdr, path)
 }
 
-func (d *Dispatcher) kvfsMeta(p *sim.Proc, fs *kvfs.FS, op uint32, hdr ReqHeader, path, path2 string) nvmefs.Response {
+// bumpGen journals a WAL generation bump for ino before a metadata op that
+// invalidates journaled page content (truncate, unlink). ok=false means the
+// bump did not commit and the op must fail with a retryable transient —
+// proceeding would let a crash resurrect pre-op pages.
+func bumpGen(p *sim.Proc, svc *Service, ino uint64) bool {
+	if svc.Ctl == nil || !svc.Ctl.HasWAL() {
+		return true
+	}
+	return svc.Ctl.BumpGen(p, ino) == nil
+}
+
+func (d *Dispatcher) kvfsMeta(p *sim.Proc, svc *Service, op uint32, hdr ReqHeader, path, path2 string) nvmefs.Response {
+	fs := svc.KVFS
 	switch op {
 	case nvme.FileOpLookup:
 		ino, err := fs.Lookup(p, path)
@@ -355,12 +379,22 @@ func (d *Dispatcher) kvfsMeta(p *sim.Proc, fs *kvfs.FS, op uint32, hdr ReqHeader
 		}
 		return nvmefs.Response{Status: nvme.StatusOK, Header: []byte{1}, Data: EncodeDirEntries(names, inos)}
 	case nvme.FileOpUnlink:
+		if svc.Ctl != nil && svc.Ctl.HasWAL() {
+			if ino, err := fs.Lookup(p, path); err == nil {
+				if !bumpGen(p, svc, ino) {
+					return nvmefs.Response{Status: nvme.StatusTransient}
+				}
+			}
+		}
 		return statusOnly(fs.Unlink(p, path))
 	case nvme.FileOpRmdir:
 		return statusOnly(fs.Rmdir(p, path))
 	case nvme.FileOpRename:
 		return statusOnly(fs.Rename(p, path, path2))
 	case nvme.FileOpTruncate:
+		if !bumpGen(p, svc, hdr.Ino) {
+			return nvmefs.Response{Status: nvme.StatusTransient}
+		}
 		return statusOnly(fs.Truncate(p, hdr.Ino))
 	case nvme.FileOpSetattr:
 		// Size-only setattr: hdr.Off carries the new EOF (buffered writes

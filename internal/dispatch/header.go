@@ -18,6 +18,21 @@ const (
 	FlagFillCache uint32 = 1 << 0
 	// FlagNoPrefetch suppresses the sequential prefetcher (ablations).
 	FlagNoPrefetch uint32 = 1 << 1
+	// FlagWriteback, on a Flush, demands the synchronous write-back path
+	// even when a WAL could satisfy durability by journaling: the host's
+	// internal pre-direct-I/O syncs need the pages actually in the backend
+	// (a direct read must see them there), not merely durable.
+	FlagWriteback uint32 = 1 << 2
+	// FlagInvalidate, on a Write, journals a WAL generation bump for the
+	// inode before the backend write lands. Direct writes set it (on their
+	// first chunk): the client has already written back every dirty page, so
+	// the backend is current, and without the bump a crash could replay
+	// older journaled page images over what this write is about to put
+	// there — regressing content the completed direct write promised
+	// durable. Buffered write-through fallbacks must NOT set it: they run
+	// with journaled-but-dirty pages still in the cache, whose WAL records
+	// are those pages' only durability.
+	FlagInvalidate uint32 = 1 << 3
 )
 
 // ReqHeaderSize is the encoded size of a request header; it must fit the

@@ -43,13 +43,17 @@ const (
 	SiteCacheFill
 	// SiteCacheFlush: the ctl's flush path (backend writes).
 	SiteCacheFlush
+	// SiteWAL: the write-ahead log's commit path (appends) and replay path
+	// (recovery reads). Consulted once per group commit and once per replay
+	// read chunk.
+	SiteWAL
 
 	numSites
 )
 
 var siteNames = [numSites]string{
 	"ssd-read", "ssd-write", "tgt", "complete", "pcie-dma",
-	"cache-fill", "cache-flush",
+	"cache-fill", "cache-flush", "wal",
 }
 
 func (s Site) String() string {
@@ -92,6 +96,15 @@ const (
 	KindBackendWriteErr
 	// KindPCIeStall: a DMA transfer takes Rule.Delay longer than modeled.
 	KindPCIeStall
+	// KindWALTorn: a WAL group commit persists only a prefix of its bytes
+	// and fails — the torn tail stays on the log for recovery to detect.
+	KindWALTorn
+	// KindWALCorrupt: a WAL group commit lands with a flipped byte and
+	// fails — replay must stop at the CRC mismatch, never apply garbage.
+	KindWALCorrupt
+	// KindWALReplayStall: a recovery-time log read takes Rule.Delay longer
+	// than modeled (slow media after the crash).
+	KindWALReplayStall
 
 	numKinds
 )
@@ -100,6 +113,7 @@ var kindNames = [numKinds]string{
 	"none", "ssd-read-err", "ssd-write-err", "ssd-stall",
 	"drop-completion", "corrupt-sqe", "corrupt-cqe", "worker-crash",
 	"freeze", "backend-read-err", "backend-write-err", "pcie-stall",
+	"wal-torn", "wal-corrupt", "wal-replay-stall",
 }
 
 func (k Kind) String() string {
@@ -297,6 +311,14 @@ func TortureSchedule(seed int64) []Rule {
 		{Site: SiteCacheFill, Kind: KindBackendReadErr, FromOp: j(30), Every: j(151), Count: 6},
 		{Site: SitePCIeDMA, Kind: KindPCIeStall, FromOp: j(200), Every: j(509), Count: 8,
 			Delay: time.Duration(10+rng.Intn(30)) * time.Microsecond},
+		// WAL faults: only consulted when the cache write-ahead log is
+		// enabled (the crash-restart harness), inert otherwise. Every kind
+		// fails the commit cleanly, so a retried fsync eventually lands once
+		// the bounded counts are spent.
+		{Site: SiteWAL, Kind: KindWALTorn, FromOp: j(6), Every: j(41), Count: 3},
+		{Site: SiteWAL, Kind: KindWALCorrupt, FromOp: j(14), Every: j(67), Count: 2},
+		{Site: SiteWAL, Kind: KindWALReplayStall, FromOp: 1, Every: j(5), Count: 4,
+			Delay: time.Duration(30+rng.Intn(60)) * time.Microsecond},
 	}
 }
 

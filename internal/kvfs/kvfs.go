@@ -64,6 +64,18 @@ type FS struct {
 	AttrHits   stats.Counter
 }
 
+// NextIno returns the next inode number the FS would allocate.
+func (fs *FS) NextIno() uint64 { return fs.nextIno }
+
+// SetNextIno raises the inode allocation cursor. Crash recovery rebuilds
+// the (volatile) cursor from the maximum inode found in the surviving KV
+// state so re-created files never reuse a durable inode number.
+func (fs *FS) SetNextIno(v uint64) {
+	if v > fs.nextIno {
+		fs.nextIno = v
+	}
+}
+
 // New creates a KVFS over a KV client and initializes the root directory.
 func New(m *model.Machine, cl *kv.Client) *FS {
 	fs := &FS{

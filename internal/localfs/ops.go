@@ -585,7 +585,11 @@ func (fs *FS) flushPage(p *sim.Proc, pg *cachePage) {
 	fs.mustDevWrite(p, blk*BlockSize, pg.data)
 }
 
-// Sync writes back every dirty page.
+// Sync writes back every dirty page. On a device modeling power-fail
+// semantics (crash tracking enabled) it ends with a write barrier, so a
+// completed Sync is durable across a simulated power cut — the barrier's
+// cost is paid only in crash-torture worlds, keeping every other world's
+// timing (and hence its exported traces) unchanged.
 func (fs *FS) Sync(p *sim.Proc) {
 	defer fs.charge(p)()
 	for _, pg := range fs.cache.dirtyPages() {
@@ -593,6 +597,9 @@ func (fs *FS) Sync(p *sim.Proc) {
 		pg.dirty = false
 	}
 	fs.journal(p)
+	if fs.dev.CrashTracking() {
+		fs.dev.Barrier(p)
+	}
 }
 
 // Truncate sets a file's size to zero, releasing blocks.

@@ -11,6 +11,8 @@ package ssd
 
 import (
 	"fmt"
+	"math/rand"
+	"sort"
 	"time"
 
 	"dpc/internal/fault"
@@ -53,10 +55,19 @@ type Device struct {
 	writeBus *sim.Resource
 	blocks   map[int64][]byte
 
+	// volatile, when non-nil, models the device's volatile write buffer for
+	// power-fail experiments: every block written since the last Barrier is
+	// tracked with an undo image, and Crash reverts a random subset of them
+	// (a block either fully persisted or fully didn't — tearing is at block
+	// granularity, like real flash). nil (the default) disables tracking, so
+	// ordinary runs pay nothing.
+	volatile map[int64][]byte
+
 	Reads      stats.Counter
 	Writes     stats.Counter
 	BytesRead  stats.Counter
 	BytesWrite stats.Counter
+	Barriers   stats.Counter
 	// ReadErrs/WriteErrs count injected media errors; Stalls counts
 	// injected latency spikes. Maintained only on fault runs.
 	ReadErrs  stats.Counter
@@ -241,6 +252,17 @@ func (d *Device) WriteRaw(off int64, data []byte) {
 			b = make([]byte, BlockSize)
 			d.blocks[blk] = b
 		}
+		if d.volatile != nil {
+			if _, seen := d.volatile[blk]; !seen {
+				if ok {
+					d.volatile[blk] = append([]byte(nil), b...)
+				} else {
+					// nil undo image: the block did not exist before this
+					// write, so a revert deletes it.
+					d.volatile[blk] = nil
+				}
+			}
+		}
 		copy(b[bo:bo+chunk], data[i:i+chunk])
 		i += chunk
 	}
@@ -248,3 +270,81 @@ func (d *Device) WriteRaw(off int64, data []byte) {
 
 // AllocatedBlocks returns the number of 4 KB blocks that have been written.
 func (d *Device) AllocatedBlocks() int { return len(d.blocks) }
+
+// EnableCrashTracking arms power-fail tracking: from now on, blocks written
+// between Barriers are revertible by Crash.
+func (d *Device) EnableCrashTracking() {
+	if d.volatile == nil {
+		d.volatile = map[int64][]byte{}
+	}
+}
+
+// CrashTracking reports whether power-fail tracking is armed. Durability
+// layers use it to decide whether a barrier is worth its (timed) cost.
+func (d *Device) CrashTracking() bool { return d.volatile != nil }
+
+// Barrier is a timed flush/FUA barrier: it drains the device's volatile
+// write buffer, so every block written before the barrier survives a Crash.
+// Modeled as one write-latency media op through a channel.
+func (d *Device) Barrier(p *sim.Proc) {
+	s := d.o.Begin(p, "ssd.barrier")
+	d.channels.Acquire(p, 1)
+	d.sleepAttr(p, d.cfg.WriteLatency, obs.CompSSD, "ssd.barrier")
+	d.channels.Release(1)
+	d.Barriers.Inc()
+	if d.volatile != nil {
+		d.volatile = map[int64][]byte{}
+	}
+	s.End(p)
+}
+
+// Crash models a power failure: each block written since the last Barrier
+// independently either persisted or reverts to its pre-write image, chosen
+// by rng (deterministic under the harness's seeded PRNG). Returns how many
+// blocks were lost. Only meaningful after EnableCrashTracking; the device
+// remains usable (reflecting the post-crash platter) for state extraction.
+func (d *Device) Crash(rng *rand.Rand) int {
+	if d.volatile == nil || len(d.volatile) == 0 {
+		return 0
+	}
+	blks := make([]int64, 0, len(d.volatile))
+	for blk := range d.volatile {
+		blks = append(blks, blk)
+	}
+	sort.Slice(blks, func(i, j int) bool { return blks[i] < blks[j] })
+	lost := 0
+	for _, blk := range blks {
+		if rng.Intn(2) == 0 {
+			continue // persisted
+		}
+		if undo := d.volatile[blk]; undo == nil {
+			delete(d.blocks, blk)
+		} else {
+			d.blocks[blk] = undo
+		}
+		lost++
+	}
+	d.volatile = map[int64][]byte{}
+	return lost
+}
+
+// Snapshot deep-copies the device's stored blocks (crash-image extraction).
+func (d *Device) Snapshot() map[int64][]byte {
+	out := make(map[int64][]byte, len(d.blocks))
+	for blk, b := range d.blocks {
+		out[blk] = append([]byte(nil), b...)
+	}
+	return out
+}
+
+// Restore replaces the device's stored blocks with a deep copy of snap
+// (transplanting a crash image into a fresh machine).
+func (d *Device) Restore(snap map[int64][]byte) {
+	d.blocks = make(map[int64][]byte, len(snap))
+	for blk, b := range snap {
+		d.blocks[blk] = append([]byte(nil), b...)
+	}
+	if d.volatile != nil {
+		d.volatile = map[int64][]byte{}
+	}
+}

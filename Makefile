@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race torture check check-faults check-crash bench-json bench-compare allocs
+.PHONY: build test vet race torture check check-faults check-crash bench-json bench-compare allocs whatif
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,13 @@ bench-json:
 	$(GO) run ./cmd/dpcbench -ramp-out BENCH_7.json
 	$(GO) run ./cmd/dpcbench -fleet-out BENCH_8.json
 	$(GO) run ./cmd/dpcbench -fsync-out BENCH_9.json
+	$(GO) run ./cmd/dpcbench -whatif-out BENCH_10.json
+
+# Causal what-if sensitivity sweep alone: counterfactual parameter dials at
+# 0.25x/0.5x/2x over the smallio and fsync reference workloads, payoff
+# ranking, and the payoff-vs-share cross-check (violations must be 0).
+whatif:
+	$(GO) run ./cmd/dpcbench -whatif-out BENCH_10.json
 
 # Regression gate: re-run the large-I/O scenario and diff every metric
 # against the committed baseline — structural counts (ops, bytes, doorbells,
@@ -62,6 +69,7 @@ bench-compare:
 	$(GO) run ./cmd/dpcbench -baseline BENCH_7.json -compare
 	$(GO) run ./cmd/dpcbench -baseline BENCH_8.json -compare
 	$(GO) run ./cmd/dpcbench -baseline BENCH_9.json -compare
+	$(GO) run ./cmd/dpcbench -baseline BENCH_10.json -compare
 
 # Allocs-per-op gate: the steady-state client data paths (buffered RMW
 # write, cached ReadInto) and the telemetry flight-recorder ring must stay

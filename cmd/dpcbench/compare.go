@@ -27,6 +27,7 @@ var exactKeys = []string{
 	"dispatched", "shed", "cost_bytes", "victim_ops", "aggressor_ops",
 	"aggressor_shed", "flood_op_bytes", "seed",
 	"fsyncs", "commits", "fsyncs_per_barrier", "wal_bytes", "wal_bytes_per_op",
+	"factor", "rank", "ok",
 }
 
 // quantileKeys are histogram-quantile suffixes. They get a wider band than
@@ -34,7 +35,12 @@ var exactKeys = []string{
 // steps (12.5% relative), so a one-bucket shift is not a regression but two
 // are.
 var quantileKeys = []string{"p50_ns", "p95_ns", "p99_ns", "p999_ns", "read_p50_ns", "read_p99_ns",
-	"victim_p50_ns", "victim_p99_ns", "victim_p999_ns"}
+	"victim_p50_ns", "victim_p99_ns", "victim_p999_ns",
+	// What-if sensitivity fractions: a gain is a small difference of large
+	// elapsed times, so an intentional few-percent latency-model tweak moves
+	// it far more than it moves the elapsed times themselves. violations
+	// (the cross-check verdict count) stays exact.
+	"speedup", "halving_gain", "gain", "bound"}
 
 // relTolerance is the allowed relative drift for timing-derived metrics.
 const relTolerance = 0.05
@@ -159,6 +165,12 @@ func runCompare(baselinePath string) error {
 		report = buildSmallIOReport()
 	case "fsync-group-commit":
 		report = buildFsyncReport()
+	case "whatif-sensitivity":
+		rep, err := buildWhatifReport()
+		if err != nil {
+			return fmt.Errorf("whatif scenario: %w", err)
+		}
+		report = rep
 	case "ramp-telemetry":
 		rep, err := buildRampReport()
 		if err != nil {

@@ -19,6 +19,11 @@
 //	                         # run the small-op direct workload, DMA vs
 //	                         # inline submission, and write the latency/DMA
 //	                         # comparison as JSON
+//	dpcbench -whatif-out w.json
+//	                         # run the causal what-if sensitivity sweep:
+//	                         # counterfactual parameter dials at 0.25x/0.5x/2x
+//	                         # with payoff ranking and payoff-vs-share
+//	                         # cross-checks, written as JSON
 //	dpcbench -prof-out p.json [-folded-out f.txt]
 //	                         # run the reference workload under the
 //	                         # critical-path profiler, print attribution
@@ -56,6 +61,7 @@ func main() {
 		largeioOut = flag.String("largeio-out", "", "run the sequential large-I/O workload (serial vs pipelined submission), write its JSON report to this file and exit")
 		smallioOut = flag.String("smallio-out", "", "run the small-op direct workload (DMA vs inline path), write its JSON report to this file and exit")
 		fsyncOut   = flag.String("fsync-out", "", "run the WAL group-commit fsync workload at 1/4/16 workers, write its JSON report (BENCH_9 shape) to this file and exit")
+		whatifOut  = flag.String("whatif-out", "", "run the causal what-if sensitivity sweep (counterfactual parameter dials + payoff-vs-share cross-check), write its JSON report (BENCH_10 shape) to this file and exit")
 		faults     = flag.Bool("faults", false, "run the reference workload under the canned fault schedule, report recovery counters and exit")
 
 		profOut        = flag.String("prof-out", "", "run the reference workload with critical-path profiling, print attribution tables and write the JSON report to this file")
@@ -104,7 +110,7 @@ func main() {
 		}
 	}
 
-	if *metricsOut != "" || *largeioOut != "" || *smallioOut != "" || *fsyncOut != "" || *profOut != "" || *benchOut != "" || *compare {
+	if *metricsOut != "" || *largeioOut != "" || *smallioOut != "" || *fsyncOut != "" || *whatifOut != "" || *profOut != "" || *benchOut != "" || *compare {
 		if *metricsOut != "" {
 			if err := runMetricsScenario(*metricsOut, *traceOut); err != nil {
 				fmt.Fprintln(os.Stderr, "metrics scenario:", err)
@@ -126,6 +132,12 @@ func main() {
 		if *fsyncOut != "" {
 			if err := runFsyncScenario(*fsyncOut); err != nil {
 				fmt.Fprintln(os.Stderr, "fsync scenario:", err)
+				os.Exit(1)
+			}
+		}
+		if *whatifOut != "" {
+			if err := runWhatifScenario(*whatifOut); err != nil {
+				fmt.Fprintln(os.Stderr, "whatif scenario:", err)
 				os.Exit(1)
 			}
 		}

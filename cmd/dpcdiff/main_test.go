@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const profA = `{
+  "sim_time_ns": 1000, "spans": 4, "roots": 2, "anomalies": 0,
+  "dropped_spans": 0, "dropped_intervals": 0,
+  "components": {"cpu": 100, "dma": 50},
+  "wait_kinds": {"pcie.dma": 30},
+  "ops": [{"op": "client.read", "count": 2, "total_ns": 200, "mean_ns": 100,
+           "max_ns": 120, "attr": {"cpu": 120, "dma": 80}, "dma_wait_share": 0.4}],
+  "groups": [], "top": null
+}`
+
+const profB = `{
+  "sim_time_ns": 1400, "spans": 4, "roots": 2, "anomalies": 0,
+  "dropped_spans": 0, "dropped_intervals": 0,
+  "components": {"cpu": 100, "dma": 250},
+  "wait_kinds": {"pcie.dma": 90},
+  "ops": [{"op": "client.read", "count": 2, "total_ns": 400, "mean_ns": 200,
+           "max_ns": 230, "attr": {"cpu": 120, "dma": 280}, "dma_wait_share": 0.7}],
+  "groups": [], "top": null
+}`
+
+func TestDiffProfiles(t *testing.T) {
+	out, err := diffFiles([]byte(profA), []byte(profB), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"client.read", "dma +100", "pcie.dma", "+60"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile diff missing %q:\n%s", want, out)
+		}
+	}
+	// JSON mode is byte-stable.
+	j1, err := diffFiles([]byte(profA), []byte(profB), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := diffFiles([]byte(profA), []byte(profB), true)
+	if j1 != j2 {
+		t.Error("JSON diff not deterministic")
+	}
+	if !strings.Contains(j1, `"mean_delta_ns": 100`) {
+		t.Errorf("JSON diff missing mean delta:\n%s", j1)
+	}
+}
+
+func TestDiffMetricsSniffed(t *testing.T) {
+	a := `{"sim_time_ns": 5, "counters": {"x": 1}, "gauges": {}, "histograms": {}}`
+	b := `{"sim_time_ns": 9, "counters": {"x": 4}, "gauges": {}, "histograms": {}}`
+	out, err := diffFiles([]byte(a), []byte(b), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "+3 (1 -> 4)") {
+		t.Errorf("metrics diff wrong:\n%s", out)
+	}
+}
+
+func TestDiffTimelinesSniffed(t *testing.T) {
+	a := `{"sim_time_ns": 100, "series": {"interval_ns": 10, "ticks": 5, "dropped_ticks": 0, "times_ns": [], "columns": {}},
+	       "slos": [{"spec": "p99<1ms", "windows": 4, "violations": 1, "burn_rate": 0.25}], "violations": [], "dumps": []}`
+	b := `{"sim_time_ns": 150, "series": {"interval_ns": 10, "ticks": 9, "dropped_ticks": 2, "times_ns": [], "columns": {}},
+	       "slos": [{"spec": "p99<1ms", "windows": 8, "violations": 5, "burn_rate": 0.625}], "violations": [{}, {}], "dumps": [{}]}`
+	out, err := diffFiles([]byte(a), []byte(b), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sim time +50", "ticks +4, dropped +2", "violations +4 (1 -> 5)", "violation events +2", "dumps +1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline diff missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffTypeMismatch(t *testing.T) {
+	metrics := `{"sim_time_ns": 5, "counters": {}, "gauges": {}, "histograms": {}}`
+	if _, err := diffFiles([]byte(profA), []byte(metrics), false); err == nil {
+		t.Error("mixed artifact types: want error")
+	}
+	if _, err := diffFiles([]byte(`{"what": 1}`), []byte(`{"what": 2}`), false); err == nil {
+		t.Error("unknown artifact: want error")
+	}
+}

@@ -4,8 +4,11 @@
 // closed. The sanctioned dynamic forms are the per-queue and per-tenant
 // conventions — fmt.Sprintf with a format whose only verbs are a "q%d"
 // queue index (e.g. "nvmefs.q%d.sq_depth") or a "t%d" tenant index (e.g.
-// "t%d.client.read.latency", "nvmefs.t%d.shed"). Anything else dynamic is
-// rejected.
+// "t%d.client.read.latency", "nvmefs.t%d.shed") — plus the what-if
+// sensitivity namespace: formats starting "whatif." whose verbs are "%s"
+// each filling a whole dotted component (e.g.
+// "whatif.%s.%s.halving_gain", workload and parameter names drawn from the
+// closed whatif registries). Anything else dynamic is rejected.
 //
 // A call site that must re-resolve names the registry itself enumerated
 // (the telemetry sampler does this) carries a `//dpclint:ok` suppression on
@@ -125,7 +128,8 @@ func lintFile(path string) int {
 
 // nameOK reports whether the metric-name argument is acceptable: a constant
 // string expression, or a fmt.Sprintf whose format's only verbs are the
-// per-queue "q%d" or per-tenant "t%d" conventions.
+// per-queue "q%d" / per-tenant "t%d" conventions, or a "whatif."-rooted
+// format whose verbs are whole-component "%s" fills.
 func nameOK(e ast.Expr) bool {
 	if _, ok := constString(e); ok {
 		return true
@@ -146,6 +150,9 @@ func nameOK(e ast.Expr) bool {
 	if len(verbs) == 0 {
 		return false
 	}
+	if strings.HasPrefix(format, "whatif.") {
+		return whatifFormatOK(format, verbs)
+	}
 	for _, v := range verbs {
 		if format[v[0]:v[1]] != "%d" || v[0] == 0 {
 			return false
@@ -156,6 +163,28 @@ func nameOK(e ast.Expr) bool {
 			return false
 		}
 		if v[0] >= 2 && format[v[0]-2] != '.' {
+			return false
+		}
+	}
+	return true
+}
+
+// whatifFormatOK validates the what-if sensitivity convention: the format
+// is rooted at "whatif." and every verb is a bare "%s" occupying one whole
+// dotted component — preceded by a '.' and followed by '.' or end of the
+// name. The fills come from the whatif parameter/workload registries, which
+// are closed sets, so the namespace stays enumerable:
+// "whatif.%s.%s.halving_gain" passes, "whatif.x%s.gain" and %d/%v verbs do
+// not.
+func whatifFormatOK(format string, verbs [][]int) bool {
+	for _, v := range verbs {
+		if format[v[0]:v[1]] != "%s" {
+			return false
+		}
+		if v[0] == 0 || format[v[0]-1] != '.' {
+			return false
+		}
+		if v[1] < len(format) && format[v[1]] != '.' {
 			return false
 		}
 	}

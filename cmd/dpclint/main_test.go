@@ -55,6 +55,34 @@ func f(o O, tid, qid int) {
 	}
 }
 
+func TestLintAcceptsWhatifConvention(t *testing.T) {
+	src := `package x
+import "fmt"
+func f(o O, workload, param string) {
+	o.Gauge(fmt.Sprintf("whatif.%s.%s.halving_gain", workload, param))
+	o.Counter(fmt.Sprintf("whatif.%s.runs", workload))
+}
+`
+	if n := lintSource(t, src); n != 0 {
+		t.Errorf("whatif convention flagged: %d findings", n)
+	}
+}
+
+func TestLintRejectsMalformedWhatifNames(t *testing.T) {
+	src := `package x
+import "fmt"
+func f(o O, workload, param string, i int) {
+	o.Gauge(fmt.Sprintf("whatif.x%s.gain", param))
+	o.Gauge(fmt.Sprintf("whatif.%s_gain", param))
+	o.Counter(fmt.Sprintf("whatif.%d.runs", i))
+	o.Counter(fmt.Sprintf("whatifs.%s.runs", workload))
+}
+`
+	if n := lintSource(t, src); n != 4 {
+		t.Errorf("malformed whatif names: %d findings, want 4", n)
+	}
+}
+
 func TestLintRejectsNonTenantVerbs(t *testing.T) {
 	src := `package x
 import "fmt"

@@ -56,6 +56,46 @@ type Costs struct {
 	HostFUSEWakeup time.Duration // FUSE daemon wakeup latency
 }
 
+// ScaleCycles multiplies every per-operation cycle cost by f, rounding to
+// nearest and flooring at 1 cycle. The Duration fields (polling and wakeup
+// latencies) are left alone: they model notification plumbing, not compute,
+// and what-if sweeps dial them separately if at all. f == 1 returns c
+// unchanged, bit for bit.
+func (c Costs) ScaleCycles(f float64) Costs {
+	if f == 1 {
+		return c
+	}
+	s := func(v *int64) {
+		if *v <= 0 {
+			return
+		}
+		n := int64(float64(*v)*f + 0.5)
+		if n < 1 {
+			n = 1
+		}
+		*v = n
+	}
+	s(&c.HostSyscall)
+	s(&c.HostSubmit)
+	s(&c.HostComplete)
+	s(&c.HostCacheLookup)
+	s(&c.HostCopyPerPage)
+	s(&c.HostFUSEEncode)
+	s(&c.HostFUSEQueue)
+	s(&c.DPUCmdParse)
+	s(&c.DPUVirtClient)
+	s(&c.DPUHALProcess)
+	s(&c.DPUKVFSOp)
+	s(&c.DPUCacheCtl)
+	s(&c.DPUDFSClient)
+	s(&c.ECCyclesPerByte)
+	s(&c.DPUFlushPage)
+	s(&c.MDSProcess)
+	s(&c.DataProcess)
+	s(&c.KVServerOp)
+	return c
+}
+
 // Config describes the whole simulated testbed.
 type Config struct {
 	Seed int64

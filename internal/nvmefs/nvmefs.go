@@ -127,6 +127,22 @@ type Config struct {
 	// DispatchWorkers bounds the DPU-side dispatch/execute procs the
 	// scheduler feeds (multi-tenant mode only). 0 means 8.
 	DispatchWorkers int
+
+	// SchedQuantum overrides the DRR per-round grant per weight unit, in
+	// cost bytes. 0 (the default) keeps the derived MaxIO+512 grant; it
+	// exists as a what-if knob so sensitivity sweeps can dial scheduler
+	// granularity without rederiving it from MaxIO. The deficit clamp banks
+	// at most two rounds' grant, so pinning it below half the largest
+	// command cost would starve max-size commands — sweeps should stay
+	// within a small factor of the derived grant.
+	SchedQuantum int64
+
+	// InlineCutover pins the inline-write payload cutover instead of the
+	// per-queue adaptive estimate: when > 0, every queue's cutover is
+	// min(InlineCutover, InlineMax) and the EWMA observations only move the
+	// exported gauge's inputs, not the decision. 0 (the default) keeps the
+	// adaptive behavior.
+	InlineCutover int
 }
 
 // DefaultConfig suits small-I/O experiments: 32 queues so application
@@ -545,6 +561,17 @@ func ewma(v *float64, sample float64) { *v += (sample - *v) / 8 }
 // result is clamped to [0, InlineMax]; when PIO is at least as fast per
 // byte as DMA the cutover saturates at InlineMax.
 func (d *Driver) recalcCutover(qs *queueState) {
+	if d.cfg.InlineCutover > 0 {
+		// Pinned cutover (what-if override): the EWMAs keep accumulating but
+		// the decision is fixed, so a sweep can isolate the policy choice.
+		cut := d.cfg.InlineCutover
+		if cut > d.cfg.InlineMax {
+			cut = d.cfg.InlineMax
+		}
+		qs.cutover = cut
+		qs.cutGauge.Set(float64(cut))
+		return
+	}
 	cut := d.cfg.InlineMax
 	num := 2*qs.setupObs - d.mmioNs
 	den := qs.pioPerByte - qs.dmaPerByte

@@ -85,12 +85,21 @@ func (d *Driver) TenantStats(t int) TenantStats {
 		Queued: len(st.ready), Inflight: st.inflight}
 }
 
+// schedQuantum derives the DRR per-round grant: one max-size command plus
+// header overhead, unless Config.SchedQuantum pins it for what-if sweeps.
+func schedQuantum(cfg Config) int64 {
+	if cfg.SchedQuantum > 0 {
+		return cfg.SchedQuantum
+	}
+	return int64(cfg.MaxIO) + 512
+}
+
 func newScheduler(d *Driver) *scheduler {
 	s := &scheduler{
 		d:       d,
 		fifo:    d.cfg.SchedFIFO,
 		cond:    sim.NewCond(d.m.Eng, "nvme-sched"),
-		quantum: int64(d.cfg.MaxIO) + 512,
+		quantum: schedQuantum(d.cfg),
 		burst:   2*int64(d.cfg.MaxIO+d.cfg.RHCap) + 1024,
 	}
 	for i, tc := range d.cfg.Tenants {

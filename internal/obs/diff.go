@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DiffSnapshots renders the difference between two metric snapshots as a
+// sorted, byte-stable text report: counters as B−A deltas, gauges as
+// before → after pairs, histograms as count/quantile shifts. Unchanged
+// series are omitted; series present on only one side are listed
+// explicitly, since a silently appearing or vanishing metric is usually
+// the finding. Identical snapshots produce exactly "no differences\n".
+func DiffSnapshots(a, b Snapshot) string {
+	var out strings.Builder
+	if dt := b.SimTimeNs - a.SimTimeNs; dt != 0 {
+		fmt.Fprintf(&out, "sim time: %d -> %d (%+d ns)\n", a.SimTimeNs, b.SimTimeNs, dt)
+	}
+
+	var counters []string
+	for _, k := range unionKeys(keysOf(a.Counters), keysOf(b.Counters)) {
+		av, aok := a.Counters[k]
+		bv, bok := b.Counters[k]
+		switch {
+		case !aok:
+			counters = append(counters, fmt.Sprintf("%-40s %+14d (only in B)", k, bv))
+		case !bok:
+			counters = append(counters, fmt.Sprintf("%-40s %+14d (only in A)", k, -av))
+		case av != bv:
+			counters = append(counters, fmt.Sprintf("%-40s %+14d (%d -> %d)", k, bv-av, av, bv))
+		}
+	}
+	section(&out, "counters", counters)
+
+	var gauges []string
+	for _, k := range unionKeys(keysOf(a.Gauges), keysOf(b.Gauges)) {
+		av, aok := a.Gauges[k]
+		bv, bok := b.Gauges[k]
+		switch {
+		case !aok:
+			gauges = append(gauges, fmt.Sprintf("%-40s %v (only in B)", k, bv))
+		case !bok:
+			gauges = append(gauges, fmt.Sprintf("%-40s %v (only in A)", k, av))
+		case av != bv:
+			gauges = append(gauges, fmt.Sprintf("%-40s %v -> %v", k, av, bv))
+		}
+	}
+	section(&out, "gauges", gauges)
+
+	var hists []string
+	for _, k := range unionKeys(keysOf(a.Histograms), keysOf(b.Histograms)) {
+		ah, aok := a.Histograms[k]
+		bh, bok := b.Histograms[k]
+		switch {
+		case !aok:
+			hists = append(hists, fmt.Sprintf("%-40s count %+d (only in B)", k, bh.Count))
+		case !bok:
+			hists = append(hists, fmt.Sprintf("%-40s count %+d (only in A)", k, -ah.Count))
+		case ah.Count != bh.Count || ah.P50Ns != bh.P50Ns || ah.P99Ns != bh.P99Ns || ah.MaxNs != bh.MaxNs:
+			hists = append(hists, fmt.Sprintf("%-40s count %+d, p50 %+d, p99 %+d, max %+d",
+				k, bh.Count-ah.Count, bh.P50Ns-ah.P50Ns, bh.P99Ns-ah.P99Ns, bh.MaxNs-ah.MaxNs))
+		}
+	}
+	section(&out, "histograms", hists)
+
+	if out.Len() == 0 {
+		return "no differences\n"
+	}
+	return out.String()
+}
+
+func section(out *strings.Builder, title string, lines []string) {
+	if len(lines) == 0 {
+		return
+	}
+	if out.Len() > 0 {
+		out.WriteByte('\n')
+	}
+	fmt.Fprintf(out, "== %s (B - A) ==\n", title)
+	for _, l := range lines {
+		out.WriteString(l)
+		out.WriteByte('\n')
+	}
+}
+
+func keysOf[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+func unionKeys(a, b []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, k := range a {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	for _, k := range b {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiffSnapshots(t *testing.T) {
+	a := Snapshot{
+		SimTimeNs: 100,
+		Counters:  map[string]int64{"wal.commits": 10, "wal.bytes": 4096, "gone.counter": 7},
+		Gauges:    map[string]float64{"cache.dirty": 3, "same.gauge": 1},
+		Histograms: map[string]HistSnapshot{
+			"op.lat": {Count: 10, P50Ns: 100, P99Ns: 200, MaxNs: 300},
+		},
+	}
+	b := Snapshot{
+		SimTimeNs: 250,
+		Counters:  map[string]int64{"wal.commits": 25, "wal.bytes": 4096, "new.counter": 3},
+		Gauges:    map[string]float64{"cache.dirty": 5, "same.gauge": 1},
+		Histograms: map[string]HistSnapshot{
+			"op.lat": {Count: 14, P50Ns: 110, P99Ns: 260, MaxNs: 300},
+		},
+	}
+
+	got := DiffSnapshots(a, b)
+	for _, want := range []string{
+		"sim time: 100 -> 250 (+150 ns)",
+		"wal.commits",
+		"+15 (10 -> 25)",
+		"(only in A)",
+		"(only in B)",
+		"cache.dirty",
+		"3 -> 5",
+		"count +4, p50 +10, p99 +60, max +0",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("diff missing %q:\n%s", want, got)
+		}
+	}
+	// Unchanged series stay out of the report.
+	for _, absent := range []string{"wal.bytes", "same.gauge"} {
+		if strings.Contains(got, absent) {
+			t.Errorf("diff contains unchanged series %q:\n%s", absent, got)
+		}
+	}
+
+	// Byte-stable and clean on identical inputs.
+	if g2 := DiffSnapshots(a, b); g2 != got {
+		t.Error("diff not deterministic")
+	}
+	if g := DiffSnapshots(a, a); g != "no differences\n" {
+		t.Errorf("self-diff = %q", g)
+	}
+}

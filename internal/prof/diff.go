@@ -1,0 +1,200 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DiffReport attributes the end-to-end latency delta between two profile
+// reports (before/after a code change, or two points of a parameter sweep)
+// to span components and wait kinds: "reads got 3 µs slower and 2.8 µs of
+// that is dma". Deltas are B minus A throughout — positive means B is
+// slower. Op deltas compare per-op *means*, so the two runs need not have
+// executed the same op counts. JSON marshalling is byte-stable.
+type DiffReport struct {
+	SimTimeDeltaNs int64 `json:"sim_time_delta_ns"`
+
+	// Ops matches root-span names present in both reports, ranked by
+	// absolute mean delta (ties by name) so the biggest mover leads.
+	Ops []OpDiff `json:"ops"`
+
+	// Components aggregates the per-op mean deltas weighted by the B-side
+	// op counts: the total end-to-end shift each component is responsible
+	// for across the matched ops.
+	Components map[string]int64 `json:"components"`
+
+	// WaitKinds is the raw B−A shift per wait kind over the whole trace.
+	WaitKinds map[string]int64 `json:"wait_kinds"`
+
+	// OnlyA/OnlyB list op names that appear in one report but not the
+	// other — a diff that silently dropped ops would misattribute.
+	OnlyA []string `json:"only_a,omitempty"`
+	OnlyB []string `json:"only_b,omitempty"`
+}
+
+// OpDiff is one matched op's before/after comparison.
+type OpDiff struct {
+	Op     string `json:"op"`
+	CountA int64  `json:"count_a"`
+	CountB int64  `json:"count_b"`
+	MeanA  int64  `json:"mean_a_ns"`
+	MeanB  int64  `json:"mean_b_ns"`
+	// MeanDelta is MeanB − MeanA.
+	MeanDelta int64 `json:"mean_delta_ns"`
+	// Attr is the per-op mean delta split by component: Attr sums to
+	// ~MeanDelta (integer division of the two means can shed a few ns).
+	Attr map[string]int64 `json:"attr"`
+	// Top names the component with the largest absolute contribution.
+	Top string `json:"top"`
+}
+
+// Diff compares two reports. Nil inputs are rejected rather than treated as
+// empty: diffing against a missing baseline is a caller bug.
+func Diff(a, b *Report) (*DiffReport, error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("prof: Diff needs two reports")
+	}
+	d := &DiffReport{
+		SimTimeDeltaNs: b.SimTimeNs - a.SimTimeNs,
+		Components:     map[string]int64{},
+		WaitKinds:      map[string]int64{},
+	}
+
+	aOps := map[string]*OpStat{}
+	for i := range a.Ops {
+		aOps[a.Ops[i].Op] = &a.Ops[i]
+	}
+	bSeen := map[string]bool{}
+	for i := range b.Ops {
+		bo := &b.Ops[i]
+		bSeen[bo.Op] = true
+		ao, ok := aOps[bo.Op]
+		if !ok {
+			d.OnlyB = append(d.OnlyB, bo.Op)
+			continue
+		}
+		if ao.Count == 0 || bo.Count == 0 {
+			continue
+		}
+		od := OpDiff{
+			Op:        bo.Op,
+			CountA:    ao.Count,
+			CountB:    bo.Count,
+			MeanA:     ao.MeanNs,
+			MeanB:     bo.MeanNs,
+			MeanDelta: bo.MeanNs - ao.MeanNs,
+			Attr:      map[string]int64{},
+		}
+		var topAbs int64 = -1
+		// Walk the union of component keys deterministically.
+		comps := make([]string, 0, len(ao.Attr)+len(bo.Attr))
+		for c := range ao.Attr {
+			comps = append(comps, c)
+		}
+		for c := range bo.Attr {
+			if _, dup := ao.Attr[c]; !dup {
+				comps = append(comps, c)
+			}
+		}
+		sort.Strings(comps)
+		for _, c := range comps {
+			dv := bo.Attr[c]/bo.Count - ao.Attr[c]/ao.Count
+			od.Attr[c] = dv
+			// B-side count weighting: the end-to-end impact of this
+			// component's shift at B's operation volume.
+			d.Components[c] += dv * bo.Count
+			if abs := absNs(dv); abs > topAbs {
+				topAbs, od.Top = abs, c
+			}
+		}
+		d.Ops = append(d.Ops, od)
+	}
+	for i := range a.Ops {
+		if !bSeen[a.Ops[i].Op] {
+			d.OnlyA = append(d.OnlyA, a.Ops[i].Op)
+		}
+	}
+	sort.Strings(d.OnlyA)
+	sort.Strings(d.OnlyB)
+	sort.Slice(d.Ops, func(i, j int) bool {
+		ai, aj := absNs(d.Ops[i].MeanDelta), absNs(d.Ops[j].MeanDelta)
+		if ai != aj {
+			return ai > aj
+		}
+		return d.Ops[i].Op < d.Ops[j].Op
+	})
+
+	kinds := map[string]bool{}
+	for k := range a.WaitKinds {
+		kinds[k] = true
+	}
+	for k := range b.WaitKinds {
+		kinds[k] = true
+	}
+	for k := range kinds {
+		if dv := b.WaitKinds[k] - a.WaitKinds[k]; dv != 0 {
+			d.WaitKinds[k] = dv
+		}
+	}
+	return d, nil
+}
+
+func absNs(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// JSON renders the diff as indented, byte-stable JSON.
+func (d *DiffReport) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Text renders the diff as human-readable tables. Deltas print signed;
+// positive means the B side is slower.
+func (d *DiffReport) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile diff (B - A): sim time %+dns\n", d.SimTimeDeltaNs)
+
+	b.WriteString("\n== per-op mean latency (ns) ==\n")
+	fmt.Fprintf(&b, "%-22s %8s %8s %12s %12s %12s  %s\n",
+		"op", "countA", "countB", "meanA", "meanB", "delta", "top component")
+	for _, od := range d.Ops {
+		fmt.Fprintf(&b, "%-22s %8d %8d %12d %12d %+12d  %s %+d\n",
+			od.Op, od.CountA, od.CountB, od.MeanA, od.MeanB, od.MeanDelta,
+			od.Top, od.Attr[od.Top])
+	}
+
+	b.WriteString("\n== end-to-end component shift (ns, weighted by countB) ==\n")
+	for _, c := range componentCols {
+		if v, ok := d.Components[c]; ok {
+			fmt.Fprintf(&b, "%-10s %+14d\n", c, v)
+		}
+	}
+
+	if len(d.WaitKinds) > 0 {
+		b.WriteString("\n== wait-kind shift (ns) ==\n")
+		kinds := make([]string, 0, len(d.WaitKinds))
+		for k := range d.WaitKinds {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			fmt.Fprintf(&b, "%-24s %+14d\n", k, d.WaitKinds[k])
+		}
+	}
+	if len(d.OnlyA) > 0 {
+		fmt.Fprintf(&b, "\nops only in A: %s\n", strings.Join(d.OnlyA, ", "))
+	}
+	if len(d.OnlyB) > 0 {
+		fmt.Fprintf(&b, "ops only in B: %s\n", strings.Join(d.OnlyB, ", "))
+	}
+	return b.String()
+}

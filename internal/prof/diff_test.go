@@ -1,0 +1,86 @@
+package prof
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func mkReport(simTime int64, ops []OpStat, waits map[string]int64) *Report {
+	return &Report{SimTimeNs: simTime, Ops: ops, WaitKinds: waits}
+}
+
+func TestDiffAttributesDelta(t *testing.T) {
+	a := mkReport(1000, []OpStat{
+		{Op: "client.read", Count: 4, MeanNs: 100, Attr: map[string]int64{"cpu": 240, "dma": 160}},
+		{Op: "client.write", Count: 2, MeanNs: 50, Attr: map[string]int64{"cpu": 100}},
+		{Op: "gone.op", Count: 1, MeanNs: 10, Attr: map[string]int64{"cpu": 10}},
+	}, map[string]int64{"pcie.dma": 300, "nvmefs.slot": 50})
+	b := mkReport(1500, []OpStat{
+		{Op: "client.read", Count: 4, MeanNs: 180, Attr: map[string]int64{"cpu": 260, "dma": 460}},
+		{Op: "client.write", Count: 2, MeanNs: 55, Attr: map[string]int64{"cpu": 110}},
+		{Op: "new.op", Count: 1, MeanNs: 10, Attr: map[string]int64{"cpu": 10}},
+	}, map[string]int64{"pcie.dma": 700, "nvmefs.slot": 50})
+
+	d, err := Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SimTimeDeltaNs != 500 {
+		t.Errorf("sim time delta %d", d.SimTimeDeltaNs)
+	}
+	// Biggest mover ranks first and blames dma: per-op dma went 40 -> 115.
+	if d.Ops[0].Op != "client.read" || d.Ops[0].Top != "dma" {
+		t.Errorf("top op %+v", d.Ops[0])
+	}
+	if d.Ops[0].Attr["dma"] != 75 || d.Ops[0].Attr["cpu"] != 5 {
+		t.Errorf("read attr %+v", d.Ops[0].Attr)
+	}
+	// Weighted aggregate: dma 75*4 = 300, cpu 5*4 + 5*2 = 30.
+	if d.Components["dma"] != 300 || d.Components["cpu"] != 30 {
+		t.Errorf("components %+v", d.Components)
+	}
+	if d.WaitKinds["pcie.dma"] != 400 {
+		t.Errorf("wait kinds %+v", d.WaitKinds)
+	}
+	if _, ok := d.WaitKinds["nvmefs.slot"]; ok {
+		t.Errorf("zero-delta wait kind kept: %+v", d.WaitKinds)
+	}
+	if len(d.OnlyA) != 1 || d.OnlyA[0] != "gone.op" || len(d.OnlyB) != 1 || d.OnlyB[0] != "new.op" {
+		t.Errorf("unmatched ops %v / %v", d.OnlyA, d.OnlyB)
+	}
+
+	txt := d.Text()
+	for _, want := range []string{"client.read", "dma +75", "ops only in A: gone.op", "ops only in B: new.op"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("text missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+func TestDiffDeterministicJSON(t *testing.T) {
+	a := mkReport(10, []OpStat{{Op: "x", Count: 1, MeanNs: 5, Attr: map[string]int64{"cpu": 5}}}, nil)
+	b := mkReport(20, []OpStat{{Op: "x", Count: 1, MeanNs: 9, Attr: map[string]int64{"cpu": 7, "ssd": 2}}}, nil)
+	d1, err := Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := Diff(a, b)
+	j1, err := d1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := d2.JSON()
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("diff JSON not byte-stable:\n%s\n%s", j1, j2)
+	}
+}
+
+func TestDiffNil(t *testing.T) {
+	if _, err := Diff(nil, &Report{}); err == nil {
+		t.Error("nil A: want error")
+	}
+	if _, err := Diff(&Report{}, nil); err == nil {
+		t.Error("nil B: want error")
+	}
+}

@@ -32,6 +32,11 @@ type Config struct {
 	WriteBps     int64         // sustained write bandwidth
 	Channels     int           // internal parallelism
 	CapacityMB   int           // addressable capacity (bounds-checks only)
+	// BarrierLatency is the media cost of a flush/FUA barrier. Zero (the
+	// default) charges one WriteLatency, the historical model; it exists as
+	// a separate knob so what-if sweeps can dial barrier cost independently
+	// of ordinary write service time.
+	BarrierLatency time.Duration
 }
 
 // DefaultConfig models the paper's ES3600P V5.
@@ -133,6 +138,9 @@ func (d *Device) SetFaults(in *fault.Injector) { d.faults = in }
 func New(eng *sim.Engine, cfg Config) *Device {
 	if cfg.Channels <= 0 || cfg.ReadBps <= 0 || cfg.WriteBps <= 0 {
 		panic(fmt.Sprintf("ssd: bad config %+v", cfg))
+	}
+	if cfg.BarrierLatency <= 0 {
+		cfg.BarrierLatency = cfg.WriteLatency
 	}
 	return &Device{
 		eng:      eng,
@@ -289,7 +297,7 @@ func (d *Device) CrashTracking() bool { return d.volatile != nil }
 func (d *Device) Barrier(p *sim.Proc) {
 	s := d.o.Begin(p, "ssd.barrier")
 	d.channels.Acquire(p, 1)
-	d.sleepAttr(p, d.cfg.WriteLatency, obs.CompSSD, "ssd.barrier")
+	d.sleepAttr(p, d.cfg.BarrierLatency, obs.CompSSD, "ssd.barrier")
 	d.channels.Release(1)
 	d.Barriers.Inc()
 	if d.volatile != nil {

@@ -1,0 +1,128 @@
+package whatif
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// Empty overrides and factor-1 entries must be exact no-ops: the default
+// benches stay byte-identical to seed only because an unswept world is
+// bit-for-bit the baseline world.
+func TestOverridesIdentity(t *testing.T) {
+	base := Defaults()
+	got, err := Overrides{}.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, base) {
+		t.Errorf("empty overrides changed params:\n got %+v\nwant %+v", got, base)
+	}
+
+	ones := Overrides{}
+	for _, prm := range Registry() {
+		ones[prm.Name] = 1
+	}
+	got, err = ones.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, base) {
+		t.Errorf("factor-1 overrides changed params:\n got %+v\nwant %+v", got, base)
+	}
+}
+
+func TestOverridesErrors(t *testing.T) {
+	if _, err := (Overrides{"no.such_param": 2}).Apply(Defaults()); err == nil {
+		t.Error("unknown parameter: want error")
+	}
+	if _, err := (Overrides{"pcie.mmio": 0}).Apply(Defaults()); err == nil {
+		t.Error("zero factor: want error")
+	}
+	if _, err := (Overrides{"pcie.mmio": -0.5}).Apply(Defaults()); err == nil {
+		t.Error("negative factor: want error")
+	}
+}
+
+// Every registered parameter must actually move the world at factor 2 —
+// a knob that applies to nothing would sweep flat and silently pad the
+// report.
+func TestRegistryApplies(t *testing.T) {
+	base := Defaults()
+	// Give the policy knobs something to dial: cutover needs the inline
+	// path on, the group window a nonzero default (it has one).
+	base.NvmeFS.InlineMax = 512
+	for _, prm := range Registry() {
+		got, err := Overrides{prm.Name: 2}.Apply(base)
+		if err != nil {
+			t.Fatalf("%s: %v", prm.Name, err)
+		}
+		if reflect.DeepEqual(got, base) {
+			t.Errorf("%s: factor 2 left params unchanged", prm.Name)
+		}
+		if prm.Layer == "" || prm.Doc == "" {
+			t.Errorf("%s: missing layer/doc", prm.Name)
+		}
+	}
+}
+
+// Scaling write latency must not drag the barrier cost along: the barrier
+// default (follow WriteLatency) is materialized before the write knob moves.
+func TestWriteLatencyBarrierIndependence(t *testing.T) {
+	base := Defaults()
+	origWrite := base.Model.SSD.WriteLatency
+	got, err := Overrides{"ssd.write_latency": 0.5}.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Model.SSD.WriteLatency != origWrite/2 {
+		t.Errorf("write latency %v, want %v", got.Model.SSD.WriteLatency, origWrite/2)
+	}
+	if got.Model.SSD.BarrierLatency != origWrite {
+		t.Errorf("barrier latency %v, want pinned at original write %v", got.Model.SSD.BarrierLatency, origWrite)
+	}
+
+	got, err = Overrides{"ssd.barrier": 0.25}.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Model.SSD.WriteLatency != origWrite {
+		t.Errorf("barrier knob moved write latency to %v", got.Model.SSD.WriteLatency)
+	}
+	if got.Model.SSD.BarrierLatency != origWrite/4 {
+		t.Errorf("barrier latency %v, want %v", got.Model.SSD.BarrierLatency, origWrite/4)
+	}
+}
+
+func TestScaleHelpers(t *testing.T) {
+	if got := scaleDur(100*time.Nanosecond, 0.25); got != 25*time.Nanosecond {
+		t.Errorf("scaleDur = %v", got)
+	}
+	if got := scaleDur(0, 2); got != 0 {
+		t.Errorf("scaleDur(0) = %v, want 0", got)
+	}
+	if got := scaleInt(16, 0.5); got != 8 {
+		t.Errorf("scaleInt = %d", got)
+	}
+	if got := scaleInt(1, 0.01); got != 1 {
+		t.Errorf("scaleInt floor = %d, want 1", got)
+	}
+}
+
+// The cycle-cost scale must touch every cycle field and no duration field.
+func TestScaleCyclesViaParam(t *testing.T) {
+	base := Defaults()
+	got, err := Overrides{"cpu.cost_scale": 2}.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Model.Costs.DPUKVFSOp != 2*base.Model.Costs.DPUKVFSOp {
+		t.Errorf("DPUKVFSOp %d, want doubled", got.Model.Costs.DPUKVFSOp)
+	}
+	if got.Model.Costs.HostSyscall != 2*base.Model.Costs.HostSyscall {
+		t.Errorf("HostSyscall %d, want doubled", got.Model.Costs.HostSyscall)
+	}
+	if got.Model.Costs.TGTPollDelay != base.Model.Costs.TGTPollDelay {
+		t.Errorf("TGTPollDelay moved to %v; durations are not cycle costs", got.Model.Costs.TGTPollDelay)
+	}
+}
